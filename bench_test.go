@@ -1,0 +1,247 @@
+// Benchmark harness: one testing.B entry per figure of the paper's
+// evaluation (the paper has no numbered tables; Figures 2–7 are its
+// results). Each benchmark regenerates its figure's series at a reduced
+// sweep density, prints the rows, and reports the headline aggregate
+// (e.g. mean achieved/optimal gap) as a benchmark metric.
+//
+// Full-density regeneration (paper parameters: μ step 0.1) is available
+// through cmd/remicss-bench; these benchmarks keep single iterations in the
+// seconds range.
+package remicss_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"remicss/internal/bench"
+)
+
+// figCfg is the reduced sweep used inside benchmarks.
+func figCfg() bench.FigureConfig {
+	return bench.FigureConfig{
+		Duration: time.Second,
+		MuStep:   0.5,
+		Seed:     1,
+	}
+}
+
+func BenchmarkFig2Packing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		packings, err := bench.Fig2Packing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for m := 1; m <= 3; m++ {
+				b.Logf("μ=%d:\n%s", m, bench.RenderFig2([]int{3, 4, 8}, packings[m]))
+			}
+		}
+	}
+}
+
+// rateGapStats summarizes a rate figure: mean and max relative gap between
+// optimal and achieved.
+func rateGapStats(points []bench.RatePoint) (mean, worst float64) {
+	var sum float64
+	for _, p := range points {
+		gap := math.Abs(p.OptimalMbps-p.ActualMbps) / p.OptimalMbps
+		sum += gap
+		if gap > worst {
+			worst = gap
+		}
+	}
+	return sum / float64(len(points)), worst
+}
+
+func benchmarkFig3(b *testing.B, setup bench.Setup) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Fig3(setup, figCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean, worst := rateGapStats(points)
+		b.ReportMetric(mean*100, "mean-gap-%")
+		b.ReportMetric(worst*100, "worst-gap-%")
+		if i == 0 {
+			for _, p := range points {
+				fmt.Printf("fig3 %-18s κ=%.0f μ=%.1f optimal=%7.2f actual=%7.2f Mbps\n",
+					setup.Name, p.Kappa, p.Mu, p.OptimalMbps, p.ActualMbps)
+			}
+		}
+	}
+}
+
+func BenchmarkFig3Identical(b *testing.B) { benchmarkFig3(b, bench.Identical(100)) }
+
+func BenchmarkFig3Diverse(b *testing.B) { benchmarkFig3(b, bench.Diverse()) }
+
+func BenchmarkFig4Delay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Fig4(figCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var optSum, actSum float64
+		for _, p := range points {
+			optSum += p.OptimalMs
+			actSum += p.ActualMs
+		}
+		b.ReportMetric(optSum/float64(len(points)), "mean-optimal-ms")
+		b.ReportMetric(actSum/float64(len(points)), "mean-actual-ms")
+		if i == 0 {
+			for _, p := range points {
+				fmt.Printf("fig4 κ=%.0f μ=%.1f optimal=%6.2fms actual=%6.2fms\n",
+					p.Kappa, p.Mu, p.OptimalMs, p.ActualMs)
+			}
+		}
+	}
+}
+
+func BenchmarkFig5Loss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Fig5(figCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var optSum, actSum float64
+		for _, p := range points {
+			optSum += p.OptimalLoss
+			actSum += p.ActualLoss
+		}
+		b.ReportMetric(optSum/float64(len(points))*100, "mean-optimal-loss-%")
+		b.ReportMetric(actSum/float64(len(points))*100, "mean-actual-loss-%")
+		if i == 0 {
+			for _, p := range points {
+				fmt.Printf("fig5 κ=%.0f μ=%.1f optimal=%.4f actual=%.4f\n",
+					p.Kappa, p.Mu, p.OptimalLoss, p.ActualLoss)
+			}
+		}
+	}
+}
+
+func benchmarkScaling(b *testing.B, run func(bench.FigureConfig) ([]bench.ScalingPoint, error), name string) {
+	cfg := figCfg()
+	cfg.Duration = 500 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		points, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the achieved ceiling: the max actual rate across the sweep
+		// (the paper's "levels off around 750 Mbps" observation for Fig 6).
+		var ceiling float64
+		for _, p := range points {
+			if p.ActualMbps > ceiling {
+				ceiling = p.ActualMbps
+			}
+		}
+		b.ReportMetric(ceiling, "ceiling-Mbps")
+		if i == 0 {
+			for _, p := range points {
+				fmt.Printf("%s κ=%.0f channel=%3.0fMbps optimal=%7.1f actual=%7.1f Mbps\n",
+					name, p.Kappa, p.ChannelMbps, p.OptimalMbps, p.ActualMbps)
+			}
+		}
+	}
+}
+
+func BenchmarkFig6Scaling(b *testing.B) { benchmarkScaling(b, bench.Fig6, "fig6") }
+
+func BenchmarkFig7Scaling(b *testing.B) { benchmarkScaling(b, bench.Fig7, "fig7") }
+
+func BenchmarkCompareProtocols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.CompareProtocols(bench.FigureConfig{Duration: time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				fmt.Printf("compare loss=%4.1f%%  MICSS %6.2f Mbps (%.1fms, %d retx)  ReMICSS %6.2f Mbps (%.2f%% loss)  striping %6.1f Mbps (%.2f%% loss)\n",
+					r.LossPct, r.MICSSMbps, r.MICSSDelayMs, r.MICSSRetx,
+					r.ReMICSSMbps, r.ReMICSSLossPct, r.StripingMbps, r.StripingLossPct)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationChooserOrder quantifies the DESIGN.md ablation: dynamic
+// chooser with least-backlog ordering (default) vs naive index ordering on
+// the Identical setup, where index ordering degenerates.
+func BenchmarkAblationChooserOrder(b *testing.B) {
+	for _, idx := range []bool{false, true} {
+		name := "least-backlog"
+		if idx {
+			name = "index-order"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.RunConfig{
+					Setup:             bench.Identical(100),
+					Kappa:             1,
+					Mu:                3,
+					OfferedMbps:       1000,
+					Duration:          time.Second,
+					Seed:              1,
+					IndexOrderChooser: idx,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AchievedMbps, "achieved-Mbps")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStaticVsDynamic compares the dynamic share schedule with
+// the sampled LP schedule at the same operating point.
+func BenchmarkAblationStaticVsDynamic(b *testing.B) {
+	for _, kind := range []bench.ChooserKind{bench.ChooserDynamic, bench.ChooserStaticMaxRate} {
+		name := "dynamic"
+		if kind == bench.ChooserStaticMaxRate {
+			name = "static-lp"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.RunConfig{
+					Setup:       bench.Lossy(),
+					Kappa:       2,
+					Mu:          3,
+					Chooser:     kind,
+					OfferedMbps: 75,
+					Duration:    time.Second,
+					Seed:        1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AchievedMbps, "achieved-Mbps")
+				b.ReportMetric(res.LossFraction*100, "loss-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptiveRecovery regenerates the adaptive-recovery experiment
+// (loss burst at t=4s; controller raises μ until delivery meets the
+// target).
+func BenchmarkAdaptiveRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		epochs, err := bench.RunAdaptive(bench.AdaptiveConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		final := epochs[len(epochs)-1]
+		b.ReportMetric(final.Loss*100, "final-loss-%")
+		b.ReportMetric(final.Mu, "final-mu")
+		if i == 0 {
+			for _, e := range epochs {
+				fmt.Printf("adaptive t=%5.1fs loss=%6.2f%% mu=%g goodput=%.2fMbps\n",
+					e.At.Seconds(), e.Loss*100, e.Mu, e.GoodputMbps)
+			}
+		}
+	}
+}

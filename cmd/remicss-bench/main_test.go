@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"remicss/internal/bench"
+)
+
+// tinyCfg keeps the smoke runs in the milliseconds range.
+func tinyCfg() bench.FigureConfig {
+	return bench.FigureConfig{Duration: 50 * time.Millisecond, MuStep: 2, Seed: 1}
+}
+
+// TestFigureRunnersSmoke exercises every runner in both output modes so a
+// broken format string or sweep cannot ship unnoticed.
+func TestFigureRunnersSmoke(t *testing.T) {
+	runners := map[string]func(bench.FigureConfig, bool) error{
+		"fig2":      fig2,
+		"fig4":      fig4,
+		"fig5":      fig5,
+		"ablations": ablations,
+		"adaptive":  adaptive,
+		"compare":   compare,
+	}
+	for name, fn := range runners {
+		for _, csv := range []bool{false, true} {
+			if err := fn(tinyCfg(), csv); err != nil {
+				t.Errorf("%s (csv=%v): %v", name, csv, err)
+			}
+		}
+	}
+	if err := fig3(bench.Identical(100), tinyCfg(), true); err != nil {
+		t.Errorf("fig3: %v", err)
+	}
+}

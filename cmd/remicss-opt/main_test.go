@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"remicss"
+)
+
+func TestParseChannels(t *testing.T) {
+	set, err := parseChannels("0.3:0.01:2.5ms:446, 0.1:0.005:250us:1786")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("parsed %d channels", len(set))
+	}
+	want := remicss.Channel{Risk: 0.3, Loss: 0.01, Delay: 2500 * time.Microsecond, Rate: 446}
+	if set[0] != want {
+		t.Errorf("channel 0 = %+v, want %+v", set[0], want)
+	}
+	if err := set.Validate(); err != nil {
+		t.Errorf("parsed set invalid: %v", err)
+	}
+}
+
+func TestParseChannelsErrors(t *testing.T) {
+	cases := []string{
+		"0.3:0.01:2.5ms",        // too few fields
+		"x:0.01:2.5ms:446",      // bad risk
+		"0.3:y:2.5ms:446",       // bad loss
+		"0.3:0.01:notadur:446",  // bad delay
+		"0.3:0.01:2.5ms:qqq",    // bad rate
+		"0.3:0.01:2.5ms:446:77", // too many fields
+	}
+	for _, spec := range cases {
+		if _, err := parseChannels(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for name, want := range map[string]remicss.Objective{
+		"risk":  remicss.ObjectiveRisk,
+		"loss":  remicss.ObjectiveLoss,
+		"delay": remicss.ObjectiveDelay,
+	} {
+		got, err := parseObjective(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("parseObjective(%q) = %v", name, got)
+		}
+	}
+	if _, err := parseObjective("throughput"); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}
+
+func TestChannelsFromTopology(t *testing.T) {
+	set, err := channelsFromTopology(
+		"a>m:0.2:0.01:2ms:100,m>b:0.1:0.01:3ms:80,a>n:0.3:0.02:5ms:200,n>b:0.2:0.01:1ms:150",
+		"a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("derived %d channels, want 2", len(set))
+	}
+	if err := set.Validate(); err != nil {
+		t.Errorf("derived set invalid: %v", err)
+	}
+}
+
+func TestChannelsFromTopologyErrors(t *testing.T) {
+	if _, err := channelsFromTopology("a>b:0.1:0.01:1ms:10", "", "b"); err == nil {
+		t.Error("missing src accepted")
+	}
+	if _, err := channelsFromTopology("nonsense", "a", "b"); err == nil {
+		t.Error("malformed edge accepted")
+	}
+	if _, err := channelsFromTopology("a>b:0.1:0.01:1ms:10", "b", "a"); err == nil {
+		t.Error("unreachable dst accepted")
+	}
+	if _, err := channelsFromTopology("a>b:0.1:0.01:1ms", "a", "b"); err == nil {
+		t.Error("short property list accepted")
+	}
+}
+
+func TestChannelsFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chans.json")
+	spec := `[{"risk":0.3,"loss":0.01,"delay":"2.5ms","rate":446}]`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err := channelsFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0].Rate != 446 {
+		t.Errorf("parsed %+v", set)
+	}
+	if _, err := channelsFromFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := channelsFromFile(bad); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module remicss
+
+go 1.22

@@ -1,0 +1,260 @@
+package adapt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"remicss/internal/core"
+	"remicss/internal/netem"
+	"remicss/internal/remicss"
+	"remicss/internal/sharing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{N: 0, TargetLoss: 0.01, MaxRisk: 0.1}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(Config{N: 5, TargetLoss: 1, MaxRisk: 0.1}); err == nil {
+		t.Error("target loss 1 accepted")
+	}
+	if _, err := New(Config{N: 5, TargetLoss: 0.01, MaxRisk: 0}); err == nil {
+		t.Error("max risk 0 accepted")
+	}
+	if _, err := New(Config{N: 3, TargetLoss: 0.01, MaxRisk: 0.5, KappaFloor: 4}); err == nil {
+		t.Error("kappa floor above n accepted")
+	}
+}
+
+func TestMuRisesOnLossAndDecaysWhenClean(t *testing.T) {
+	c, err := New(Config{N: 5, TargetLoss: 0.01, MaxRisk: 1, Step: 1, DecayAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, mu := c.Params(); mu != 1 {
+		t.Fatalf("initial mu = %v", mu)
+	}
+	c.ObserveLoss(0.05) // above target
+	if _, mu := c.Params(); mu != 2 {
+		t.Errorf("mu after loss = %v, want 2", mu)
+	}
+	c.ObserveLoss(0.2)
+	c.ObserveLoss(0.2)
+	if _, mu := c.Params(); mu != 4 {
+		t.Errorf("mu after three raises = %v, want 4", mu)
+	}
+	// μ caps at n.
+	c.ObserveLoss(0.2)
+	c.ObserveLoss(0.2)
+	if _, mu := c.Params(); mu != 5 {
+		t.Errorf("mu capped = %v, want 5", mu)
+	}
+	// Two clean epochs decay once.
+	c.ObserveLoss(0)
+	c.ObserveLoss(0)
+	if _, mu := c.Params(); mu != 4 {
+		t.Errorf("mu after decay = %v, want 4", mu)
+	}
+	// One clean epoch is not enough (hysteresis resets).
+	c.ObserveLoss(0)
+	if _, mu := c.Params(); mu != 4 {
+		t.Errorf("mu decayed too eagerly: %v", mu)
+	}
+	raises, decays := c.Adjustments()
+	if raises != 4 || decays != 1 {
+		t.Errorf("adjustments = (%d, %d)", raises, decays)
+	}
+}
+
+func TestMuNeverBelowKappa(t *testing.T) {
+	c, err := New(Config{N: 5, TargetLoss: 0.01, MaxRisk: 1, KappaFloor: 3, Step: 1, DecayAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.ObserveLoss(0)
+	}
+	kappa, mu := c.Params()
+	if mu < kappa {
+		t.Errorf("mu %v below kappa %v", mu, kappa)
+	}
+	if mu != 3 {
+		t.Errorf("mu = %v, want 3 (floor)", mu)
+	}
+}
+
+func testSet(risks []float64) core.Set {
+	s := make(core.Set, len(risks))
+	for i, z := range risks {
+		s[i] = core.Channel{Risk: z, Loss: 0.01, Delay: time.Millisecond, Rate: 1000}
+	}
+	return s
+}
+
+func TestRetuneFindsMinimalKappa(t *testing.T) {
+	c, err := New(Config{N: 4, TargetLoss: 0.01, MaxRisk: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := testSet([]float64{0.2, 0.2, 0.2, 0.2})
+	kappa, risk, err := c.Retune(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risk > 0.05 {
+		t.Errorf("risk %v above target", risk)
+	}
+	// k=1: z >= 0.2. k=2 with all-equal risks: C(m,2)-ish ~ 0.04..0.15
+	// depending on schedule; the controller must have found the smallest
+	// kappa meeting 0.05.
+	if kappa < 2 || kappa > 3 {
+		t.Errorf("kappa = %v", kappa)
+	}
+	// Verify minimality: kappa-1 would violate the target.
+	prev, err := New(Config{N: 4, TargetLoss: 0.01, MaxRisk: 0.05, KappaFloor: kappa - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, risk2, err := prev.Retune(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != kappa {
+		t.Errorf("retune from lower floor found κ=%v (risk %v), want %v", k2, risk2, kappa)
+	}
+}
+
+func TestRetuneUnreachableTarget(t *testing.T) {
+	c, err := New(Config{N: 3, TargetLoss: 0.01, MaxRisk: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := testSet([]float64{0.5, 0.5, 0.5})
+	kappa, risk, err := c.Retune(set)
+	if !errors.Is(err, ErrRiskUnmet) {
+		t.Fatalf("got %v, want ErrRiskUnmet", err)
+	}
+	if kappa != 3 {
+		t.Errorf("kappa = %v, want n", kappa)
+	}
+	if risk <= 0 {
+		t.Errorf("residual risk = %v", risk)
+	}
+}
+
+func TestRetuneWrongSetSize(t *testing.T) {
+	c, err := New(Config{N: 3, TargetLoss: 0.01, MaxRisk: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Retune(testSet([]float64{0.1, 0.1})); err == nil {
+		t.Error("mismatched set size accepted")
+	}
+}
+
+// TestClosedLoopRecoversFromLossBurst runs the full protocol under the
+// controller: channel loss jumps mid-run, the controller raises μ, and the
+// delivery ratio recovers.
+func TestClosedLoopRecoversFromLossBurst(t *testing.T) {
+	eng := netem.NewEngine()
+	scheme := sharing.NewAuto(rand.New(rand.NewSource(1)))
+	delivered := 0
+	recv, err := remicss.NewReceiver(remicss.ReceiverConfig{
+		Scheme:   scheme,
+		Clock:    eng.Now,
+		Timeout:  200 * time.Millisecond,
+		OnSymbol: func(uint64, []byte, time.Duration) { delivered++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var netLinks []*netem.Link
+	links := make([]remicss.Link, 5)
+	for i := range links {
+		l, err := netem.NewLink(eng, netem.LinkConfig{Rate: 2000},
+			rand.New(rand.NewSource(int64(i)+2)),
+			func(p []byte, _ time.Duration) { recv.HandleDatagram(p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		netLinks = append(netLinks, l)
+		links[i] = l
+	}
+	ctrl, err := New(Config{N: 5, TargetLoss: 0.02, MaxRisk: 1, KappaFloor: 2, Step: 1, DecayAfter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sender with a chooser rebuilt per epoch from the controller's params.
+	var snd *remicss.Sender
+	rebuild := func() {
+		kappa, mu := ctrl.Params()
+		chooser, err := remicss.NewDynamicChooser(kappa, mu, rand.New(rand.NewSource(77)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := remicss.NewSender(remicss.SenderConfig{
+			Scheme: scheme, Chooser: chooser, Clock: eng.Now,
+		}, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snd = s
+	}
+	rebuild()
+
+	sent, lastSent, lastDelivered := 0, 0, 0
+	var lossPerEpoch []float64
+	var muPerEpoch []float64
+
+	var offer func()
+	offer = func() {
+		if err := snd.Send([]byte{byte(sent)}); err == nil {
+			sent++
+		}
+		if eng.Now() < 10*time.Second {
+			eng.Schedule(2*time.Millisecond, offer)
+		}
+	}
+	var epoch func()
+	epoch = func() {
+		ds, dd := sent-lastSent, delivered-lastDelivered
+		lastSent, lastDelivered = sent, delivered
+		if ds > 0 {
+			loss := 1 - float64(dd)/float64(ds)
+			ctrl.ObserveLoss(loss)
+			lossPerEpoch = append(lossPerEpoch, loss)
+			_, mu := ctrl.Params()
+			muPerEpoch = append(muPerEpoch, mu)
+			rebuild()
+		}
+		if eng.Now() < 10*time.Second {
+			eng.Schedule(500*time.Millisecond, epoch)
+		}
+	}
+	eng.Schedule(0, offer)
+	eng.Schedule(500*time.Millisecond, epoch)
+	// At t=3s every channel turns 25% lossy.
+	eng.Schedule(3*time.Second, func() {
+		for _, l := range netLinks {
+			l.SetLoss(0.25)
+		}
+	})
+	eng.Run(10 * time.Second)
+	eng.RunUntilIdle()
+
+	raises, _ := ctrl.Adjustments()
+	if raises == 0 {
+		t.Fatalf("controller never raised mu; losses %v", lossPerEpoch)
+	}
+	_, muEnd := ctrl.Params()
+	if muEnd < 3 {
+		t.Errorf("final mu = %v, want >= 3 under 25%% loss with κ=2", muEnd)
+	}
+	// Delivery in the final two epochs must be back under ~2x target.
+	final := lossPerEpoch[len(lossPerEpoch)-1]
+	if final > 0.05 {
+		t.Errorf("final epoch loss %v; controller failed to recover (mu history %v)", final, muPerEpoch)
+	}
+}

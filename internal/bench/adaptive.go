@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"remicss/internal/adapt"
+	"remicss/internal/netem"
+	"remicss/internal/remicss"
+	"remicss/internal/sharing"
+)
+
+// AdaptiveEpoch is one control epoch of the adaptive experiment.
+type AdaptiveEpoch struct {
+	// At is the epoch end time.
+	At time.Duration
+	// Loss is the symbol loss measured over the epoch.
+	Loss float64
+	// Mu is the controller's multiplicity after acting on the epoch.
+	Mu float64
+	// GoodputMbps is the delivered rate over the epoch.
+	GoodputMbps float64
+}
+
+// AdaptiveConfig parameterizes the adaptive-recovery experiment.
+type AdaptiveConfig struct {
+	// Duration is the total run length. Default 12s.
+	Duration time.Duration
+	// Epoch is the control interval. Default 500ms.
+	Epoch time.Duration
+	// BurstAt is when channel loss jumps. Default 4s.
+	BurstAt time.Duration
+	// BurstLoss is the per-channel loss during the burst. Default 0.25.
+	BurstLoss float64
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Duration <= 0 {
+		c.Duration = 12 * time.Second
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = 500 * time.Millisecond
+	}
+	if c.BurstAt <= 0 {
+		c.BurstAt = 4 * time.Second
+	}
+	if c.BurstLoss <= 0 {
+		c.BurstLoss = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RunAdaptive demonstrates the closed control loop the model enables
+// (Section III-A: parameters "chosen and adjusted accordingly"): five
+// identical channels, a mid-run loss burst, and the adapt.Controller
+// raising μ to restore delivery — with the feedback traveling in-band as
+// receiver reports.
+func RunAdaptive(cfg AdaptiveConfig) ([]AdaptiveEpoch, error) {
+	cfg = cfg.withDefaults()
+	eng := netem.NewEngine()
+	scheme := sharing.NewAuto(rand.New(rand.NewSource(cfg.Seed)))
+
+	delivered := 0
+	recv, err := remicss.NewReceiver(remicss.ReceiverConfig{
+		Scheme:   scheme,
+		Clock:    eng.Now,
+		Timeout:  200 * time.Millisecond,
+		OnSymbol: func(uint64, []byte, time.Duration) { delivered++ },
+	})
+	if err != nil {
+		return nil, err
+	}
+	var netLinks []*netem.Link
+	links := make([]remicss.Link, 5)
+	for i := range links {
+		l, err := netem.NewLink(eng, netem.LinkConfig{Rate: 2000},
+			rand.New(rand.NewSource(cfg.Seed+int64(i)+1)),
+			func(p []byte, _ time.Duration) { recv.HandleDatagram(p) })
+		if err != nil {
+			return nil, err
+		}
+		netLinks = append(netLinks, l)
+		links[i] = l
+	}
+	// Feedback path: reports return over a dedicated reverse link.
+	var feedback remicss.FeedbackState
+	reverse, err := netem.NewLink(eng, netem.LinkConfig{Rate: 1000, Delay: 2 * time.Millisecond},
+		rand.New(rand.NewSource(cfg.Seed+100)),
+		func(p []byte, _ time.Duration) { feedback.Ingest(p) })
+	if err != nil {
+		return nil, err
+	}
+
+	ctrl, err := adapt.New(adapt.Config{
+		N: 5, TargetLoss: 0.02, MaxRisk: 1, KappaFloor: 2, Step: 1, DecayAfter: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var snd *remicss.Sender
+	rebuild := func() error {
+		kappa, mu := ctrl.Params()
+		chooser, err := remicss.NewDynamicChooser(kappa, mu, rand.New(rand.NewSource(cfg.Seed+200)))
+		if err != nil {
+			return err
+		}
+		s, err := remicss.NewSender(remicss.SenderConfig{
+			Scheme: scheme, Chooser: chooser, Clock: eng.Now,
+		}, links)
+		if err != nil {
+			return err
+		}
+		snd = s
+		return nil
+	}
+	if err := rebuild(); err != nil {
+		return nil, err
+	}
+
+	var epochs []AdaptiveEpoch
+	sent, lastSent := 0, 0
+	var buildErr error
+
+	var offer func()
+	offer = func() {
+		if err := snd.Send([]byte{byte(sent), byte(sent >> 8)}); err == nil {
+			sent++
+		}
+		if eng.Now() < cfg.Duration {
+			eng.Schedule(2*time.Millisecond, offer)
+		}
+	}
+	var reportTick func()
+	reportTick = func() {
+		recv.Tick()
+		reverse.Send(recv.MakeReport())
+		if eng.Now() < cfg.Duration {
+			eng.Schedule(cfg.Epoch/2, reportTick)
+		}
+	}
+	warmedUp := false
+	var control func()
+	control = func() {
+		ds := sent - lastSent
+		lastSent = sent
+		loss := feedback.LossSince(int64(ds))
+		// The first epoch's reports lag half a cycle behind the symbols
+		// sent, so its loss reading is an artifact; let the loop warm up
+		// before acting.
+		if warmedUp {
+			ctrl.ObserveLoss(loss)
+		}
+		warmedUp = true
+		if err := rebuild(); err != nil {
+			buildErr = err
+			return
+		}
+		_, mu := ctrl.Params()
+		epochs = append(epochs, AdaptiveEpoch{
+			At:          eng.Now(),
+			Loss:        loss,
+			Mu:          mu,
+			GoodputMbps: Mbps(float64(ds)*(1-loss)/cfg.Epoch.Seconds(), DefaultPayloadBytes),
+		})
+		if eng.Now() < cfg.Duration {
+			eng.Schedule(cfg.Epoch, control)
+		}
+	}
+	eng.Schedule(0, offer)
+	eng.Schedule(cfg.Epoch/2, reportTick)
+	eng.Schedule(cfg.Epoch, control)
+	eng.Schedule(cfg.BurstAt, func() {
+		for _, l := range netLinks {
+			l.SetLoss(cfg.BurstLoss)
+		}
+	})
+	eng.Run(cfg.Duration)
+	eng.RunUntilIdle()
+	if buildErr != nil {
+		return nil, fmt.Errorf("bench: rebuilding sender: %w", buildErr)
+	}
+	return epochs, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunAdaptiveRecovery(t *testing.T) {
+	epochs, err := RunAdaptive(AdaptiveConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) < 10 {
+		t.Fatalf("only %d epochs", len(epochs))
+	}
+	// Before the burst (default 4s): loss ~0, mu at the floor.
+	var preBurst, postBurst, final *AdaptiveEpoch
+	for i := range epochs {
+		e := &epochs[i]
+		switch {
+		case e.At <= 4*time.Second:
+			preBurst = e
+		case postBurst == nil && e.At > 5*time.Second:
+			postBurst = e
+		}
+	}
+	final = &epochs[len(epochs)-1]
+	if preBurst == nil || postBurst == nil {
+		t.Fatal("missing epochs around the burst")
+	}
+	if preBurst.Loss > 0.01 {
+		t.Errorf("pre-burst loss = %v", preBurst.Loss)
+	}
+	if preBurst.Mu != 2 {
+		t.Errorf("pre-burst mu = %v, want floor 2", preBurst.Mu)
+	}
+	// After the burst the controller must have raised μ...
+	if final.Mu <= preBurst.Mu {
+		t.Errorf("final mu = %v, want above %v", final.Mu, preBurst.Mu)
+	}
+	// ...and the last epoch's loss must be back near the target.
+	if final.Loss > 0.05 {
+		t.Errorf("final loss = %v; controller did not recover", final.Loss)
+	}
+}
+
+func TestRunAdaptiveDeterministic(t *testing.T) {
+	a, err := RunAdaptive(AdaptiveConfig{Seed: 4, Duration: 6 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAdaptive(AdaptiveConfig{Seed: 4, Duration: 6 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remicss/internal/micss"
+)
+
+// CompareRow contrasts the three protocols at one channel-loss level on
+// five identical 50 Mbps channels.
+//
+// MICSS (κ = μ = n, reliable transport) never loses a symbol but stalls on
+// retransmissions; ReMICSS at κ=3, μ=5 rides out up to two share losses per
+// symbol with no retransmission; striping (κ = μ = 1) maximizes rate with
+// no redundancy, so channel loss translates directly into symbol loss.
+type CompareRow struct {
+	// LossPct is the per-channel loss probability applied to all channels.
+	LossPct float64
+
+	// MICSS results: goodput, mean symbol completion delay, and the number
+	// of share retransmissions.
+	MICSSMbps    float64
+	MICSSDelayMs float64
+	MICSSRetx    int64
+
+	// ReMICSS (κ=3, μ=5) results.
+	ReMICSSMbps    float64
+	ReMICSSLossPct float64
+	ReMICSSDelayMs float64
+
+	// Striping (κ=μ=1) results.
+	StripingMbps    float64
+	StripingLossPct float64
+}
+
+// compareChannelMbps is the per-channel rate for the comparison: at μ = n
+// both secret sharing protocols top out at one channel's rate, so 50 Mbps
+// keeps runs fast while staying in the paper's range.
+const compareChannelMbps = 50
+
+// CompareProtocols measures all three protocols across loss levels. It is
+// not a figure from the paper; it quantifies the Section V claim that
+// reliable share transport (MICSS) wastes resources whenever k < m would
+// do.
+func CompareProtocols(fc FigureConfig) ([]CompareRow, error) {
+	fc = fc.withDefaults()
+	var rows []CompareRow
+	for _, loss := range []float64{0, 0.01, 0.05, 0.10} {
+		setup := Identical(compareChannelMbps)
+		for i := range setup.Loss {
+			setup.Loss[i] = loss
+		}
+		row := CompareRow{LossPct: loss * 100}
+
+		mbps, delay, retx, err := runMICSS(setup, fc)
+		if err != nil {
+			return nil, fmt.Errorf("compare MICSS at %v%%: %w", loss*100, err)
+		}
+		row.MICSSMbps, row.MICSSDelayMs, row.MICSSRetx = mbps, delay, retx
+
+		re, err := Run(RunConfig{
+			Setup:       setup,
+			Kappa:       3,
+			Mu:          5,
+			OfferedMbps: compareChannelMbps, // R_C at μ=5 is one channel's rate
+			Duration:    fc.Duration,
+			Seed:        fc.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compare ReMICSS at %v%%: %w", loss*100, err)
+		}
+		row.ReMICSSMbps = re.AchievedMbps
+		row.ReMICSSLossPct = re.LossFraction * 100
+		row.ReMICSSDelayMs = float64(re.MeanDelay) / float64(time.Millisecond)
+
+		st, err := Run(RunConfig{
+			Setup:       setup,
+			Chooser:     ChooserStriping,
+			OfferedMbps: setup.TotalMbps(),
+			Duration:    fc.Duration,
+			Seed:        fc.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("compare striping at %v%%: %w", loss*100, err)
+		}
+		row.StripingMbps = st.AchievedMbps
+		row.StripingLossPct = st.LossFraction * 100
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runMICSS drives a MICSS session at saturating offered load and reports
+// goodput (Mbps), mean completion delay (ms), and retransmissions.
+func runMICSS(setup Setup, fc FigureConfig) (float64, float64, int64, error) {
+	session, err := micss.NewSession(micss.Config{
+		Links:  setup.LinkConfigs(fc.PayloadBytes, 64),
+		Window: 32,
+		Seed:   fc.Seed,
+		RTO:    50 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	eng := session.Engine()
+	payload := make([]byte, fc.PayloadBytes)
+	// Offer 1.2x one channel's rate: MICSS cannot exceed the slowest
+	// channel since every symbol occupies every channel.
+	offered := PacketsPerSecond(setup.RateMbps[0], fc.PayloadBytes) * 1.2
+	interval := time.Duration(float64(time.Second) / offered)
+	var offer func()
+	offer = func() {
+		if err := session.Send(payload); err != nil {
+			return
+		}
+		next := eng.Now() + interval
+		if next <= fc.Duration {
+			eng.At(next, offer)
+		}
+	}
+	eng.Schedule(0, offer)
+	eng.Run(fc.Duration)
+	// Snapshot at the horizon: MICSS queues excess offered load without
+	// bound, so counting post-horizon drainage would credit it with more
+	// than its channels can carry.
+	st := session.Stats()
+	mbps := Mbps(float64(st.SymbolsDelivered)/fc.Duration.Seconds(), fc.PayloadBytes)
+	delayMs := float64(st.MeanDelay) / float64(time.Millisecond)
+	return mbps, delayMs, st.Retransmissions, nil
+}

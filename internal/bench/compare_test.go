@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCompareProtocolsStory verifies the qualitative claims the comparison
+// exists to demonstrate (paper Section V): under loss, reliable share
+// transport (MICSS) stalls while the best-effort threshold protocol
+// (ReMICSS at κ=3, μ=5) holds its rate with small symbol loss, and pure
+// striping converts channel loss directly into symbol loss.
+func TestCompareProtocolsStory(t *testing.T) {
+	rows, err := CompareProtocols(FigureConfig{Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+
+	clean := rows[0]
+	if clean.MICSSRetx != 0 {
+		t.Errorf("lossless MICSS retransmitted %d shares", clean.MICSSRetx)
+	}
+	// Lossless: both secret sharing protocols run near one channel's rate;
+	// striping near the aggregate.
+	if clean.MICSSMbps < 45 || clean.MICSSMbps > 55 {
+		t.Errorf("lossless MICSS = %v Mbps, want ~50", clean.MICSSMbps)
+	}
+	if clean.ReMICSSMbps < 45 || clean.ReMICSSMbps > 55 {
+		t.Errorf("lossless ReMICSS = %v Mbps, want ~50", clean.ReMICSSMbps)
+	}
+	if clean.StripingMbps < 230 {
+		t.Errorf("lossless striping = %v Mbps, want ~250", clean.StripingMbps)
+	}
+
+	worst := rows[len(rows)-1] // 10% loss
+	if worst.MICSSMbps > 0.6*clean.MICSSMbps {
+		t.Errorf("10%% loss MICSS = %v Mbps; expected collapse below 60%% of %v",
+			worst.MICSSMbps, clean.MICSSMbps)
+	}
+	if worst.ReMICSSMbps < 0.9*clean.ReMICSSMbps {
+		t.Errorf("10%% loss ReMICSS = %v Mbps; expected to hold near %v",
+			worst.ReMICSSMbps, clean.ReMICSSMbps)
+	}
+	if worst.ReMICSSLossPct > 2 {
+		t.Errorf("10%% loss ReMICSS symbol loss = %v%%, want < 2%% (m-k=2 redundancy)",
+			worst.ReMICSSLossPct)
+	}
+	if worst.MICSSDelayMs < 2*clean.MICSSDelayMs {
+		t.Errorf("10%% loss MICSS delay %vms did not inflate vs %vms",
+			worst.MICSSDelayMs, clean.MICSSDelayMs)
+	}
+	// Striping symbol loss tracks channel loss.
+	if worst.StripingLossPct < 8 || worst.StripingLossPct > 12 {
+		t.Errorf("10%% loss striping symbol loss = %v%%, want ~10%%", worst.StripingLossPct)
+	}
+	if worst.MICSSRetx == 0 {
+		t.Error("10% loss MICSS reported no retransmissions")
+	}
+}

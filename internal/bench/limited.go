@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+
+	"remicss/internal/schedule"
+)
+
+// LimitedRow compares unlimited and limited (Section IV-E) schedule optima
+// at one (κ, μ) point on the Delayed+Lossy channel profile.
+//
+// Limited schedules guarantee every symbol uses k >= ⌊κ⌋ — required under
+// the MICSS/courier threat model where the adversary always controls a
+// fixed channel subset — but, as the paper's Section IV-E counterexample
+// shows, they can be strictly worse on the other properties. This
+// experiment maps where and by how much.
+type LimitedRow struct {
+	Kappa, Mu float64
+	// Unlimited and Limited give the optimal objective value under each
+	// schedule family.
+	UnlimitedRisk, LimitedRisk       float64
+	UnlimitedDelayMs, LimitedDelayMs float64
+}
+
+// CompareLimited evaluates the limited-schedule penalty over a (κ, μ) grid
+// on the paper's Delayed setup with the Lossy setup's loss rates and
+// nominal risks (so every objective is non-trivial).
+func CompareLimited(fc FigureConfig) ([]LimitedRow, error) {
+	fc = fc.withDefaults()
+	setup := Delayed()
+	setup.Loss = Lossy().Loss
+	set := setup.ChannelSet(fc.PayloadBytes)
+	risks := []float64{0.30, 0.10, 0.20, 0.25, 0.15}
+	for i := range set {
+		set[i].Risk = risks[i]
+	}
+
+	var rows []LimitedRow
+	for kappa := 1; kappa <= set.N(); kappa++ {
+		for _, mu := range muSweep(float64(kappa), set.N(), fc.MuStep) {
+			row := LimitedRow{Kappa: float64(kappa), Mu: mu}
+			for _, limited := range []bool{false, true} {
+				opts := schedule.Options{Limited: limited}
+				rs, err := schedule.Optimize(set, float64(kappa), mu, schedule.ObjectiveRisk, opts)
+				if err != nil {
+					return nil, fmt.Errorf("limited=%v risk κ=%d μ=%.2f: %w", limited, kappa, mu, err)
+				}
+				ds, err := schedule.Optimize(set, float64(kappa), mu, schedule.ObjectiveDelay, opts)
+				if err != nil {
+					return nil, fmt.Errorf("limited=%v delay κ=%d μ=%.2f: %w", limited, kappa, mu, err)
+				}
+				if limited {
+					row.LimitedRisk = rs.Risk(set)
+					row.LimitedDelayMs = ds.Delay(set) * 1e3
+				} else {
+					row.UnlimitedRisk = rs.Risk(set)
+					row.UnlimitedDelayMs = ds.Delay(set) * 1e3
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+func TestCompareLimitedPenalties(t *testing.T) {
+	rows, err := CompareLimited(FigureConfig{MuStep: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	anyDelayPenalty := false
+	for _, r := range rows {
+		// The limited family is a subset: its optimum can never be better.
+		if r.LimitedRisk < r.UnlimitedRisk-1e-9 {
+			t.Errorf("κ=%v μ=%v: limited risk %v better than unlimited %v",
+				r.Kappa, r.Mu, r.LimitedRisk, r.UnlimitedRisk)
+		}
+		if r.LimitedDelayMs < r.UnlimitedDelayMs-1e-6 {
+			t.Errorf("κ=%v μ=%v: limited delay %v better than unlimited %v",
+				r.Kappa, r.Mu, r.LimitedDelayMs, r.UnlimitedDelayMs)
+		}
+		if r.LimitedDelayMs > r.UnlimitedDelayMs+1e-3 {
+			anyDelayPenalty = true
+		}
+		// At integral parameters the families coincide on the boundary
+		// entries, so integral κ=μ must show zero penalty.
+		if r.Kappa == r.Mu {
+			if r.LimitedRisk != r.UnlimitedRisk {
+				t.Errorf("κ=μ=%v: risk penalty %v at a point with one schedule",
+					r.Kappa, r.LimitedRisk-r.UnlimitedRisk)
+			}
+		}
+	}
+	// Section IV-E promises real penalties exist somewhere in the space.
+	if !anyDelayPenalty {
+		t.Error("no delay penalty anywhere; Section IV-E effect not visible")
+	}
+}

@@ -1,0 +1,137 @@
+// Package bench is the experiment harness: it reproduces every figure of
+// the paper's evaluation (Section VI) over the internal/netem emulator.
+//
+// The paper's four network setups (Identical, Diverse, Lossy, Delayed) are
+// defined here in their original Mbps/percent/millisecond terms and
+// converted to the emulator's packets-per-second units using the benchmark
+// payload size. Experiments follow the paper's method: offer iperf-style
+// UDP load at a fixed bitrate for a measurement window, then read rate,
+// loss, and delay from receiver-side counters.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"remicss/internal/core"
+	"remicss/internal/netem"
+)
+
+// DefaultPayloadBytes is the source symbol size: one iperf-style UDP
+// payload.
+const DefaultPayloadBytes = 1400
+
+// PacketsPerSecond converts a channel bitrate in Mbps into share symbols
+// per second for the given payload size.
+func PacketsPerSecond(mbps float64, payloadBytes int) float64 {
+	return mbps * 1e6 / (float64(payloadBytes) * 8)
+}
+
+// Mbps converts a symbol rate back into Mbps for reporting.
+func Mbps(pps float64, payloadBytes int) float64 {
+	return pps * float64(payloadBytes) * 8 / 1e6
+}
+
+// Setup is one of the paper's pre-defined network configurations, in the
+// paper's units.
+type Setup struct {
+	// Name identifies the setup in output tables.
+	Name string
+	// RateMbps is each channel's capacity in Mbps.
+	RateMbps []float64
+	// Loss is each channel's loss probability (per direction in the paper;
+	// the forward direction is what share transport sees).
+	Loss []float64
+	// Delay is each channel's added one-way delay.
+	Delay []time.Duration
+}
+
+// Identical returns the paper's Identical setup: five channels at the given
+// rate with negligible loss and delay.
+func Identical(mbps float64) Setup {
+	s := Setup{Name: fmt.Sprintf("identical-%gMbps", mbps)}
+	for i := 0; i < 5; i++ {
+		s.RateMbps = append(s.RateMbps, mbps)
+		s.Loss = append(s.Loss, 0)
+		s.Delay = append(s.Delay, 0)
+	}
+	return s
+}
+
+// Diverse returns the paper's Diverse setup: 5, 20, 60, 65, 100 Mbps with
+// negligible loss and delay.
+func Diverse() Setup {
+	return Setup{
+		Name:     "diverse",
+		RateMbps: []float64{5, 20, 60, 65, 100},
+		Loss:     []float64{0, 0, 0, 0, 0},
+		Delay:    make([]time.Duration, 5),
+	}
+}
+
+// Lossy returns the paper's Lossy setup: Diverse rates with loss of 1, 0.5,
+// 1, 2, and 3 percent.
+func Lossy() Setup {
+	s := Diverse()
+	s.Name = "lossy"
+	s.Loss = []float64{0.01, 0.005, 0.01, 0.02, 0.03}
+	return s
+}
+
+// Delayed returns the paper's Delayed setup: Diverse rates with added
+// one-way delays of 2.5, 0.25, 12.5, 5, and 0.5 ms.
+func Delayed() Setup {
+	s := Diverse()
+	s.Name = "delayed"
+	s.Delay = []time.Duration{
+		2500 * time.Microsecond,
+		250 * time.Microsecond,
+		12500 * time.Microsecond,
+		5 * time.Millisecond,
+		500 * time.Microsecond,
+	}
+	return s
+}
+
+// N returns the number of channels.
+func (s Setup) N() int { return len(s.RateMbps) }
+
+// ChannelSet converts the setup into the model's channel set, with rates in
+// symbols per second for the given payload size. Risks are not part of the
+// paper's performance setups; they are set to a uniform nominal 0.1 so the
+// set validates (the rate/loss/delay experiments never read them).
+func (s Setup) ChannelSet(payloadBytes int) core.Set {
+	set := make(core.Set, s.N())
+	for i := range set {
+		set[i] = core.Channel{
+			Risk:  0.1,
+			Loss:  s.Loss[i],
+			Delay: s.Delay[i],
+			Rate:  PacketsPerSecond(s.RateMbps[i], payloadBytes),
+		}
+	}
+	return set
+}
+
+// LinkConfigs converts the setup into emulator link configurations.
+func (s Setup) LinkConfigs(payloadBytes, queueLimit int) []netem.LinkConfig {
+	cfgs := make([]netem.LinkConfig, s.N())
+	for i := range cfgs {
+		cfgs[i] = netem.LinkConfig{
+			Rate:       PacketsPerSecond(s.RateMbps[i], payloadBytes),
+			Loss:       s.Loss[i],
+			Delay:      s.Delay[i],
+			QueueLimit: queueLimit,
+		}
+	}
+	return cfgs
+}
+
+// TotalMbps returns the aggregate channel capacity.
+func (s Setup) TotalMbps() float64 {
+	var sum float64
+	for _, r := range s.RateMbps {
+		sum += r
+	}
+	return sum
+}

@@ -1,0 +1,317 @@
+// Package blakley implements Blakley's (k, m) threshold scheme
+// ("Safeguarding cryptographic keys", 1979), the hyperplane-geometric
+// counterpart to Shamir's polynomial scheme that the paper credits as the
+// other origin of secret sharing.
+//
+// The secret byte s is the first coordinate of a point
+// P = (s, r_2, ..., r_k) in GF(256)^k with r_i uniform. Each share is a
+// hyperplane through P: a coefficient vector a_i and the value b_i = a_i·P.
+// Any k shares determine P by solving the linear system; fewer than k
+// shares leave P on an affine subspace whose first coordinate is uniform —
+// provided the coefficient vectors are chosen so that
+//
+//  1. every k-subset of vectors is linearly independent (reconstruction),
+//  2. e_1 lies outside the span of every (k-1)-subset (perfect secrecy:
+//     otherwise the leftover line is parallel to the secret axis and the
+//     secret is pinned).
+//
+// Split draws random vectors and verifies both conditions by enumeration,
+// redrawing on the (rare) degenerate draw; this keeps the scheme honestly
+// Blakley rather than collapsing it to Shamir's Vandermonde special case.
+// Each share carries its coefficient vector, so shares are k bytes longer
+// than the secret — the historical space disadvantage versus Shamir's
+// single extra byte, measurable in this package's benchmarks.
+package blakley
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"remicss/internal/gf256"
+)
+
+// MaxShares bounds m so the subset verification stays tractable.
+const MaxShares = 16
+
+// maxRedraws bounds the retry loop for degenerate coefficient draws; with
+// field size 256 a single redraw is already rare, so hitting this limit
+// indicates a broken randomness source.
+const maxRedraws = 64
+
+// Errors.
+var (
+	ErrInvalidParams  = errors.New("blakley: invalid parameters")
+	ErrEmptySecret    = errors.New("blakley: empty secret")
+	ErrTooFewShares   = errors.New("blakley: not enough shares")
+	ErrMalformedShare = errors.New("blakley: malformed share")
+	ErrDegenerate     = errors.New("blakley: could not draw independent hyperplanes")
+	ErrSingular       = errors.New("blakley: shares do not determine the secret")
+)
+
+// Share is one hyperplane: the coefficient vector (length k) and one
+// constant term per secret byte.
+type Share struct {
+	// Coeffs is the hyperplane's normal vector a_i (length k).
+	Coeffs []byte
+	// Values holds b_i = a_i · P_j for each secret byte j.
+	Values []byte
+}
+
+// Bytes serializes the share as coeffs || values (the coefficient length k
+// is carried in the protocol header, not the share body).
+func (s Share) Bytes() []byte {
+	out := make([]byte, len(s.Coeffs)+len(s.Values))
+	copy(out, s.Coeffs)
+	copy(out[len(s.Coeffs):], s.Values)
+	return out
+}
+
+// ParseShare splits the wire form back given the threshold k.
+func ParseShare(b []byte, k int) (Share, error) {
+	if k < 1 || len(b) < k+1 {
+		return Share{}, fmt.Errorf("%w: %d bytes for k=%d", ErrMalformedShare, len(b), k)
+	}
+	return Share{
+		Coeffs: append([]byte(nil), b[:k]...),
+		Values: append([]byte(nil), b[k:]...),
+	}, nil
+}
+
+// Splitter draws hyperplanes from a randomness source.
+type Splitter struct {
+	rand io.Reader
+}
+
+// NewSplitter returns a Splitter; nil r means crypto/rand.
+func NewSplitter(r io.Reader) *Splitter {
+	if r == nil {
+		r = rand.Reader
+	}
+	return &Splitter{rand: r}
+}
+
+// Split shares the secret into m hyperplane shares with threshold k.
+func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
+	if k < 1 || m < k || m > MaxShares {
+		return nil, fmt.Errorf("%w: k=%d, m=%d", ErrInvalidParams, k, m)
+	}
+	if len(secret) == 0 {
+		return nil, ErrEmptySecret
+	}
+
+	coeffs, err := sp.drawCoefficients(k, m)
+	if err != nil {
+		return nil, err
+	}
+
+	shares := make([]Share, m)
+	for i := range shares {
+		shares[i] = Share{Coeffs: coeffs[i], Values: make([]byte, len(secret))}
+	}
+	point := make([]byte, k)
+	randoms := make([]byte, (k-1)*len(secret))
+	if _, err := io.ReadFull(sp.rand, randoms); err != nil {
+		return nil, fmt.Errorf("blakley: reading point randomness: %w", err)
+	}
+	for j, s := range secret {
+		point[0] = s
+		copy(point[1:], randoms[j*(k-1):(j+1)*(k-1)])
+		for i := range shares {
+			shares[i].Values[j] = dot(coeffs[i], point)
+		}
+	}
+	return shares, nil
+}
+
+// drawCoefficients samples m vectors in GF(256)^k satisfying the
+// reconstruction and secrecy conditions.
+func (sp *Splitter) drawCoefficients(k, m int) ([][]byte, error) {
+	buf := make([]byte, m*k)
+	for attempt := 0; attempt < maxRedraws; attempt++ {
+		if _, err := io.ReadFull(sp.rand, buf); err != nil {
+			return nil, fmt.Errorf("blakley: reading coefficients: %w", err)
+		}
+		coeffs := make([][]byte, m)
+		for i := range coeffs {
+			coeffs[i] = append([]byte(nil), buf[i*k:(i+1)*k]...)
+		}
+		if verifyCoefficients(coeffs, k) {
+			return coeffs, nil
+		}
+	}
+	return nil, ErrDegenerate
+}
+
+// verifyCoefficients checks the two Blakley conditions by enumerating
+// subsets.
+func verifyCoefficients(coeffs [][]byte, k int) bool {
+	m := len(coeffs)
+	// Condition 1: every k-subset has rank k.
+	for mask := uint32(0); mask < 1<<uint(m); mask++ {
+		switch bits.OnesCount32(mask) {
+		case k:
+			if rank(selectRows(coeffs, mask)) != k {
+				return false
+			}
+		case k - 1:
+			// Condition 2: adding the secret axis e_1 must still raise the
+			// rank, i.e. e_1 outside the span.
+			rows := selectRows(coeffs, mask)
+			e1 := make([]byte, k)
+			e1[0] = 1
+			if rank(append(rows, e1)) != k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func selectRows(coeffs [][]byte, mask uint32) [][]byte {
+	var out [][]byte
+	for i := range coeffs {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, append([]byte(nil), coeffs[i]...))
+		}
+	}
+	return out
+}
+
+// Combine reconstructs the secret from exactly k (or more; the first k are
+// used) shares of a threshold-k split.
+func Combine(shares []Share, k int) ([]byte, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrInvalidParams, k)
+	}
+	if len(shares) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), k)
+	}
+	shares = shares[:k]
+	length := len(shares[0].Values)
+	matrix := make([][]byte, k)
+	for i, s := range shares {
+		if len(s.Coeffs) != k {
+			return nil, fmt.Errorf("%w: share %d has %d coefficients, want %d",
+				ErrMalformedShare, i, len(s.Coeffs), k)
+		}
+		if len(s.Values) != length || length == 0 {
+			return nil, fmt.Errorf("%w: inconsistent value lengths", ErrMalformedShare)
+		}
+		matrix[i] = append([]byte(nil), s.Coeffs...)
+	}
+	inv, err := invert(matrix)
+	if err != nil {
+		return nil, err
+	}
+	// The secret is the first coordinate: s_j = (A^{-1} b_j)[0] = first row
+	// of A^{-1} dotted with the value column.
+	secret := make([]byte, length)
+	col := make([]byte, k)
+	for j := 0; j < length; j++ {
+		for i := range shares {
+			col[i] = shares[i].Values[j]
+		}
+		secret[j] = dot(inv[0], col)
+	}
+	return secret, nil
+}
+
+// dot computes the GF(256) inner product of equal-length vectors.
+func dot(a, b []byte) byte {
+	var acc byte
+	for i := range a {
+		acc = gf256.Add(acc, gf256.Mul(a[i], b[i]))
+	}
+	return acc
+}
+
+// rank computes the rank of a matrix over GF(256) by Gaussian elimination.
+// Rows are modified; callers pass copies.
+func rank(rows [][]byte) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	cols := len(rows[0])
+	r := 0
+	for c := 0; c < cols && r < len(rows); c++ {
+		pivot := -1
+		for i := r; i < len(rows); i++ {
+			if rows[i][c] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		rows[r], rows[pivot] = rows[pivot], rows[r]
+		inv := gf256.Inv(rows[r][c])
+		for j := c; j < cols; j++ {
+			rows[r][j] = gf256.Mul(rows[r][j], inv)
+		}
+		for i := range rows {
+			if i != r && rows[i][c] != 0 {
+				f := rows[i][c]
+				for j := c; j < cols; j++ {
+					rows[i][j] = gf256.Add(rows[i][j], gf256.Mul(f, rows[r][j]))
+				}
+			}
+		}
+		r++
+	}
+	return r
+}
+
+// invert returns the inverse of a square matrix over GF(256), or
+// ErrSingular.
+func invert(m [][]byte) ([][]byte, error) {
+	k := len(m)
+	// Augment with the identity.
+	aug := make([][]byte, k)
+	for i := range aug {
+		if len(m[i]) != k {
+			return nil, fmt.Errorf("%w: non-square matrix", ErrMalformedShare)
+		}
+		aug[i] = make([]byte, 2*k)
+		copy(aug[i], m[i])
+		aug[i][k+i] = 1
+	}
+	for c := 0; c < k; c++ {
+		pivot := -1
+		for i := c; i < k; i++ {
+			if aug[i][c] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		aug[c], aug[pivot] = aug[pivot], aug[c]
+		inv := gf256.Inv(aug[c][c])
+		for j := 0; j < 2*k; j++ {
+			aug[c][j] = gf256.Mul(aug[c][j], inv)
+		}
+		for i := 0; i < k; i++ {
+			if i != c && aug[i][c] != 0 {
+				f := aug[i][c]
+				for j := 0; j < 2*k; j++ {
+					aug[i][j] = gf256.Add(aug[i][j], gf256.Mul(f, aug[c][j]))
+				}
+			}
+		}
+	}
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = aug[i][k:]
+	}
+	return out, nil
+}
+
+// Split is a convenience wrapper using crypto/rand.
+func Split(secret []byte, k, m int) ([]Share, error) {
+	return NewSplitter(nil).Split(secret, k, m)
+}

@@ -1,0 +1,229 @@
+package blakley
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitCombineRoundtrip(t *testing.T) {
+	secret := []byte("hyperplanes through a point")
+	for m := 1; m <= 6; m++ {
+		for k := 1; k <= m; k++ {
+			sp := NewSplitter(rand.New(rand.NewSource(int64(m*10 + k))))
+			shares, err := sp.Split(secret, k, m)
+			if err != nil {
+				t.Fatalf("Split(k=%d, m=%d): %v", k, m, err)
+			}
+			if len(shares) != m {
+				t.Fatalf("got %d shares", len(shares))
+			}
+			got, err := Combine(shares[:k], k)
+			if err != nil {
+				t.Fatalf("Combine(k=%d, m=%d): %v", k, m, err)
+			}
+			if !bytes.Equal(got, secret) {
+				t.Errorf("k=%d m=%d: got %q", k, m, got)
+			}
+		}
+	}
+}
+
+// TestAnyKSubsetReconstructs exercises the MDS condition: every k-subset of
+// shares works, not just the first.
+func TestAnyKSubsetReconstructs(t *testing.T) {
+	secret := []byte("any subset")
+	sp := NewSplitter(rand.New(rand.NewSource(3)))
+	const k, m = 3, 6
+	shares, err := sp.Split(secret, k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := []int{0, 0, 0}
+	for idx[0] = 0; idx[0] < m; idx[0]++ {
+		for idx[1] = idx[0] + 1; idx[1] < m; idx[1]++ {
+			for idx[2] = idx[1] + 1; idx[2] < m; idx[2]++ {
+				sub := []Share{shares[idx[0]], shares[idx[1]], shares[idx[2]]}
+				got, err := Combine(sub, k)
+				if err != nil {
+					t.Fatalf("subset %v: %v", idx, err)
+				}
+				if !bytes.Equal(got, secret) {
+					t.Fatalf("subset %v reconstructed %q", idx, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSecrecyStatistical: with k-1 shares, the secret's posterior is
+// uniform. We test the concrete mechanism: for fixed k-1 shares, every
+// candidate secret byte is consistent with some completion (here we sample:
+// reconstruct using a forged k-th hyperplane and verify values spread over
+// the field).
+func TestSecrecyStatistical(t *testing.T) {
+	const trials = 4000
+	sp := NewSplitter(rand.New(rand.NewSource(4)))
+	counts := make([]int, 256)
+	for i := 0; i < trials; i++ {
+		shares, err := sp.Split([]byte{0x42}, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Adversary holds share 0 only. Its single constraint a·P = b is
+		// one equation in two unknowns; record the share value as the
+		// observable.
+		counts[shares[0].Values[0]]++
+	}
+	// Chi-squared uniformity over 256 bins, 99.9th percentile ~ 330.
+	expected := float64(trials) / 256
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 330 {
+		t.Errorf("share value distribution not uniform: chi2 = %.1f", chi2)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Split([]byte("s"), 0, 2); !errors.Is(err, ErrInvalidParams) {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Split([]byte("s"), 3, 2); !errors.Is(err, ErrInvalidParams) {
+		t.Error("k>m accepted")
+	}
+	if _, err := Split([]byte("s"), 1, MaxShares+1); !errors.Is(err, ErrInvalidParams) {
+		t.Error("m>MaxShares accepted")
+	}
+	if _, err := Split(nil, 1, 1); !errors.Is(err, ErrEmptySecret) {
+		t.Error("empty secret accepted")
+	}
+	if _, err := Combine(nil, 1); !errors.Is(err, ErrTooFewShares) {
+		t.Error("no shares accepted")
+	}
+	if _, err := Combine([]Share{{}}, 0); !errors.Is(err, ErrInvalidParams) {
+		t.Error("k=0 combine accepted")
+	}
+}
+
+func TestCombineRejectsMalformed(t *testing.T) {
+	shares, err := NewSplitter(rand.New(rand.NewSource(5))).Split([]byte("ab"), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Share{shares[0], {Coeffs: shares[1].Coeffs[:1], Values: shares[1].Values}}
+	if _, err := Combine(bad, 2); !errors.Is(err, ErrMalformedShare) {
+		t.Errorf("short coeffs: got %v", err)
+	}
+	bad = []Share{shares[0], {Coeffs: shares[1].Coeffs, Values: shares[1].Values[:1]}}
+	if _, err := Combine(bad, 2); !errors.Is(err, ErrMalformedShare) {
+		t.Errorf("short values: got %v", err)
+	}
+}
+
+func TestCombineSingularDetected(t *testing.T) {
+	// Two identical hyperplanes cannot determine the point.
+	s := Share{Coeffs: []byte{1, 2}, Values: []byte{7}}
+	if _, err := Combine([]Share{s, s}, 2); !errors.Is(err, ErrSingular) {
+		t.Errorf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestShareBytesRoundtrip(t *testing.T) {
+	shares, err := NewSplitter(rand.New(rand.NewSource(6))).Split([]byte("wire"), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shares {
+		parsed, err := ParseShare(s.Bytes(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(parsed.Coeffs, s.Coeffs) || !bytes.Equal(parsed.Values, s.Values) {
+			t.Error("roundtrip mismatch")
+		}
+	}
+	if _, err := ParseShare([]byte{1}, 3); !errors.Is(err, ErrMalformedShare) {
+		t.Errorf("short parse: got %v", err)
+	}
+}
+
+// TestShareOverheadVsShamir documents the historical space disadvantage:
+// Blakley shares carry k extra bytes, Shamir's carry one.
+func TestShareOverheadVsShamir(t *testing.T) {
+	secret := bytes.Repeat([]byte{1}, 100)
+	shares, err := NewSplitter(rand.New(rand.NewSource(7))).Split(secret, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(shares[0].Bytes()); got != 100+4 {
+		t.Errorf("share size = %d, want %d", got, 104)
+	}
+}
+
+func TestRankAndInvert(t *testing.T) {
+	// Identity has full rank and is its own inverse.
+	id := [][]byte{{1, 0}, {0, 1}}
+	if got := rank([][]byte{{1, 0}, {0, 1}}); got != 2 {
+		t.Errorf("rank(I) = %d", got)
+	}
+	inv, err := invert(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv[0][0] != 1 || inv[0][1] != 0 || inv[1][0] != 0 || inv[1][1] != 1 {
+		t.Errorf("invert(I) = %v", inv)
+	}
+	// Dependent rows: rank 1, singular.
+	if got := rank([][]byte{{2, 4}, {2, 4}}); got != 1 {
+		t.Errorf("rank(dependent) = %d", got)
+	}
+	if _, err := invert([][]byte{{2, 4}, {2, 4}}); !errors.Is(err, ErrSingular) {
+		t.Errorf("invert(dependent): got %v", err)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a, err := NewSplitter(rand.New(rand.NewSource(8))).Split([]byte("det"), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSplitter(rand.New(rand.NewSource(8))).Split([]byte("det"), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Bytes(), b[i].Bytes()) {
+			t.Fatalf("share %d differs", i)
+		}
+	}
+}
+
+func BenchmarkBlakleySplit3of5_1400B(b *testing.B) {
+	secret := bytes.Repeat([]byte{0x5a}, 1400)
+	sp := NewSplitter(rand.New(rand.NewSource(1)))
+	b.SetBytes(int64(len(secret)))
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.Split(secret, 3, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlakleyCombine3of5_1400B(b *testing.B) {
+	secret := bytes.Repeat([]byte{0x5a}, 1400)
+	shares, err := NewSplitter(rand.New(rand.NewSource(1))).Split(secret, 3, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(secret)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Combine(shares[:3], 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

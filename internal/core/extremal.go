@@ -1,0 +1,88 @@
+package core
+
+import "sort"
+
+// This file implements the fully-optimized single-property results of paper
+// Section IV-B/IV-C: the best value each network property can reach over a
+// channel set when κ and μ may be chosen freely.
+
+// MaxPrivacyRisk returns the minimum achievable overall risk Z_C = Π z_i,
+// reached by the schedule p(n, C) = 1 (κ = μ = n): the adversary must
+// observe a share on every channel to learn a symbol.
+func (s Set) MaxPrivacyRisk() float64 {
+	z := 1.0
+	for _, c := range s {
+		z *= c.Risk
+	}
+	return z
+}
+
+// MaxPrivacySchedule returns the schedule achieving MaxPrivacyRisk.
+func (s Set) MaxPrivacySchedule() Schedule {
+	return Uniform(Assignment{K: len(s), Mask: s.FullMask()})
+}
+
+// MinLoss returns the minimum achievable overall lossiness L_C = Π l_i,
+// reached by the schedule p(1, C) = 1 (κ = 1, μ = n): a symbol is lost only
+// if every channel drops its share.
+func (s Set) MinLoss() float64 {
+	l := 1.0
+	for _, c := range s {
+		l *= c.Loss
+	}
+	return l
+}
+
+// MinLossSchedule returns the schedule achieving MinLoss.
+func (s Set) MinLossSchedule() Schedule {
+	return Uniform(Assignment{K: 1, Mask: s.FullMask()})
+}
+
+// MinDelay returns the minimum achievable overall delay D_C in seconds,
+// reached with κ = 1 and μ = n. With loss, this is the expected delay of the
+// fastest surviving share:
+//
+//	D_C = ( Σ_a (1-λ(a)) δ(a) Π_{b<a} λ(b) ) / ( 1 - Π l_i )
+//
+// where δ is the non-decreasing ordering of channel delays and λ(a) the
+// lossiness of the channel δ(a) refers to. With no loss this collapses to
+// min_i d_i.
+func (s Set) MinDelay() float64 {
+	type dl struct{ d, l float64 }
+	ch := make([]dl, len(s))
+	for i, c := range s {
+		ch[i] = dl{d: c.Delay.Seconds(), l: c.Loss}
+	}
+	sort.Slice(ch, func(i, j int) bool { return ch[i].d < ch[j].d })
+
+	var sum float64
+	prefixLoss := 1.0 // Π_{b<a} λ(b)
+	allLoss := 1.0
+	for _, c := range ch {
+		sum += (1 - c.l) * c.d * prefixLoss
+		prefixLoss *= c.l
+		allLoss *= c.l
+	}
+	return sum / (1 - allLoss)
+}
+
+// MinDelaySchedule returns the schedule achieving MinDelay.
+func (s Set) MinDelaySchedule() Schedule {
+	return Uniform(Assignment{K: 1, Mask: s.FullMask()})
+}
+
+// MaxRate returns the maximum achievable overall rate R_C = Σ r_i, reached
+// with κ = μ = 1: every share carries a distinct symbol (MPTCP-style
+// striping, Section IV-C).
+func (s Set) MaxRate() float64 { return s.TotalRate() }
+
+// MaxRateSchedule returns the striping schedule achieving MaxRate: each
+// symbol uses a single channel, channel i with probability r_i / Σ r_j.
+func (s Set) MaxRateSchedule() Schedule {
+	total := s.TotalRate()
+	p := make(Schedule, len(s))
+	for i, c := range s {
+		p[Assignment{K: 1, Mask: 1 << uint(i)}] = c.Rate / total
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChannelJSONRoundtrip(t *testing.T) {
+	set := Set{
+		{Risk: 0.3, Loss: 0.01, Delay: 2500 * time.Microsecond, Rate: 446},
+		{Risk: 0.1, Loss: 0.005, Delay: 250 * time.Microsecond, Rate: 1786},
+	}
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"delay":"2.5ms"`) {
+		t.Errorf("delay not encoded as duration string: %s", data)
+	}
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(set) {
+		t.Fatalf("got %d channels", len(back))
+	}
+	for i := range set {
+		if back[i] != set[i] {
+			t.Errorf("channel %d = %+v, want %+v", i, back[i], set[i])
+		}
+	}
+}
+
+func TestChannelJSONErrors(t *testing.T) {
+	var c Channel
+	if err := json.Unmarshal([]byte(`{"delay": "not a duration"}`), &c); err == nil {
+		t.Error("bad delay accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"risk": "high"}`), &c); err == nil {
+		t.Error("non-numeric risk accepted")
+	}
+}
+
+func TestScheduleJSONRoundtrip(t *testing.T) {
+	p := Schedule{
+		{K: 1, Mask: 0b001}: 0.25,
+		{K: 2, Mask: 0b011}: 0.50,
+		{K: 3, Mask: 0b111}: 0.25,
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"channels":[0,1]`) {
+		t.Errorf("channel indices not listed: %s", data)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(3); err != nil {
+		t.Fatalf("roundtripped schedule invalid: %v", err)
+	}
+	for a, prob := range p {
+		if got := back[a]; got != prob {
+			t.Errorf("entry %v = %v, want %v", a, got, prob)
+		}
+	}
+	if got := back.Kappa(); got != p.Kappa() {
+		t.Errorf("kappa drifted: %v vs %v", got, p.Kappa())
+	}
+}
+
+func TestScheduleJSONRejectsBadIndices(t *testing.T) {
+	var p Schedule
+	if err := json.Unmarshal([]byte(`[{"k":1,"channels":[-1],"p":1}]`), &p); err == nil {
+		t.Error("negative channel index accepted")
+	}
+	if err := json.Unmarshal([]byte(`[{"k":1,"channels":[30],"p":1}]`), &p); err == nil {
+		t.Error("out-of-range channel index accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"not": "a list"}`), &p); err == nil {
+		t.Error("non-list schedule accepted")
+	}
+}
+
+func TestScheduleJSONMergesDuplicateEntries(t *testing.T) {
+	var p Schedule
+	data := `[{"k":1,"channels":[0],"p":0.5},{"k":1,"channels":[0],"p":0.5}]`
+	if err := json.Unmarshal([]byte(data), &p); err != nil {
+		t.Fatal(err)
+	}
+	if got := p[Assignment{K: 1, Mask: 1}]; got != 1 {
+		t.Errorf("merged probability = %v, want 1", got)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// rateEpsilon absorbs floating-point noise in rate comparisons.
+const rateEpsilon = 1e-9
+
+// OptimalRate computes the optimal multichannel rate R_C for average share
+// multiplicity mu over the set (Theorem 4):
+//
+//	R_C = min over S ⊆ C with |S| > n-μ of ( Σ_{i∈S} r_i ) / (μ - n + |S|).
+//
+// The minimizing S is always a suffix of the rates sorted descending (all
+// channels except some number of the fastest), so the computation is
+// O(n log n) rather than exponential; TestOptimalRateMatchesBruteForce
+// verifies this against the literal subset minimum.
+//
+// mu must satisfy 1 <= mu <= n.
+func (s Set) OptimalRate(mu float64) (float64, error) {
+	if err := s.CheckParams(1, mu); err != nil {
+		return 0, err
+	}
+	rates := s.Rates()
+	sort.Sort(sort.Reverse(sort.Float64Slice(rates)))
+
+	// Suffix sums: suffix[t] = Σ_{i >= t} rates[i] (rates sorted descending),
+	// i.e. the total rate excluding the t fastest channels.
+	n := len(rates)
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + rates[i]
+	}
+
+	best := math.Inf(1)
+	for t := 0; float64(t) < mu && t < n; t++ {
+		r := suffix[t] / (mu - float64(t))
+		if r < best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// OptimalRateBruteForce evaluates Theorem 4's subset minimum literally. It
+// is exponential in n and exists as the oracle for OptimalRate.
+func (s Set) OptimalRateBruteForce(mu float64) (float64, error) {
+	if err := s.CheckParams(1, mu); err != nil {
+		return 0, err
+	}
+	n := len(s)
+	rates := s.Rates()
+	best := math.Inf(1)
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		size := 0
+		var sum float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				size++
+				sum += rates[i]
+			}
+		}
+		if float64(size) > float64(n)-mu {
+			if r := sum / (mu - float64(n) + float64(size)); r < best {
+				best = r
+			}
+		}
+	}
+	return best, nil
+}
+
+// RateLowerBound returns Theorem 1's bound: the rate of the channel with the
+// ⌈μ⌉-th highest individual rate. OptimalRate is always at least this.
+func (s Set) RateLowerBound(mu float64) (float64, error) {
+	if err := s.CheckParams(1, mu); err != nil {
+		return 0, err
+	}
+	rates := s.Rates()
+	sort.Sort(sort.Reverse(sort.Float64Slice(rates)))
+	idx := int(math.Ceil(mu)) - 1
+	if idx >= len(rates) {
+		idx = len(rates) - 1
+	}
+	return rates[idx], nil
+}
+
+// FullUtilizationMaxMu returns Theorem 2's bound: every channel can be fully
+// utilized if and only if μ <= Σ r_i / max r_i.
+func (s Set) FullUtilizationMaxMu() float64 {
+	var total, maxRate float64
+	for _, c := range s {
+		total += c.Rate
+		if c.Rate > maxRate {
+			maxRate = c.Rate
+		}
+	}
+	if maxRate == 0 {
+		return 0
+	}
+	return total / maxRate
+}
+
+// MuForRate inverts the rate relation (Theorem 3): given a target overall
+// rate R, it returns the largest μ that still achieves it,
+//
+//	μ = Σ min{ r_i / R, 1 }.
+//
+// R must be positive.
+func (s Set) MuForRate(rate float64) (float64, error) {
+	if rate <= 0 || math.IsNaN(rate) {
+		return 0, fmt.Errorf("%w: target rate %v", ErrInvalidParams, rate)
+	}
+	var mu float64
+	for _, c := range s {
+		mu += math.Min(c.Rate/rate, 1)
+	}
+	return mu, nil
+}
+
+// FullyUtilizedSet returns Definition 1's set A = {i : r_i <= R_C} for the
+// given μ, as a bitmask: the channels whose full rate is used by an optimal
+// schedule. Corollary 2 guarantees |A| > n - μ.
+func (s Set) FullyUtilizedSet(mu float64) (uint32, error) {
+	rc, err := s.OptimalRate(mu)
+	if err != nil {
+		return 0, err
+	}
+	var mask uint32
+	for i, c := range s {
+		if c.Rate <= rc+rateEpsilon {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask, nil
+}
+
+// UtilizationTargets returns, for each channel, the fraction of source
+// symbols that must include it to achieve the optimal rate for μ:
+// min{ r_i / R_C, 1 } (Equation 4 recast over proportions, used as the
+// max-rate constraint of the Section IV-D linear program).
+func (s Set) UtilizationTargets(mu float64) ([]float64, error) {
+	rc, err := s.OptimalRate(mu)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(s))
+	for i, c := range s {
+		out[i] = math.Min(c.Rate/rc, 1)
+	}
+	return out, nil
+}

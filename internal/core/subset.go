@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"remicss/internal/stats"
+)
+
+// SubsetRisk computes z(k, M): the probability that an adversary observes at
+// least k of the shares of a symbol sent over the channels in mask (one
+// share per channel). This is the upper tail of the Poisson binomial over
+// the per-channel risks (paper Section IV-A).
+//
+// It panics if k is not in [1, |M|] or the mask selects channels outside the
+// set; those are programming errors in schedule construction.
+func (s Set) SubsetRisk(k int, mask uint32) float64 {
+	probs := s.maskValues(mask, s.Risks())
+	checkSubsetParams(k, len(probs))
+	return stats.TailAtLeast(probs, k)
+}
+
+// SubsetLoss computes l(k, M): the probability that fewer than k shares of a
+// symbol sent over the channels in mask arrive, i.e. the symbol is lost.
+// This is the lower tail of the Poisson binomial over per-channel delivery
+// probabilities (1 - l_i).
+func (s Set) SubsetLoss(k int, mask uint32) float64 {
+	deliver := s.maskValues(mask, invertProbs(s.Losses()))
+	checkSubsetParams(k, len(deliver))
+	return stats.TailLess(deliver, k)
+}
+
+// SubsetDelay computes d(k, M): the expected time from sending a symbol's
+// shares over the channels in mask until k of them have arrived, conditioned
+// on the symbol not being lost. The result is in seconds.
+//
+// Per the paper, this is the average over every subset K ⊆ M with |K| >= k
+// of the k-th smallest delay among K, weighted by the probability that K is
+// exactly the delivered set, normalized by 1 - l(k, M).
+func (s Set) SubsetDelay(k int, mask uint32) float64 {
+	m := bits.OnesCount32(mask)
+	checkSubsetParams(k, m)
+
+	// Work in the subset's local index space.
+	idx := maskIndices(mask)
+	if idx[len(idx)-1] >= len(s) {
+		panic(fmt.Sprintf("core: mask %b selects channel beyond set of %d", mask, len(s)))
+	}
+	delays := make([]float64, m)
+	losses := make([]float64, m)
+	for j, i := range idx {
+		delays[j] = s[i].Delay.Seconds()
+		losses[j] = s[i].Loss
+	}
+
+	var weighted, pDeliver float64
+	full := uint32(1)<<uint(m) - 1
+	for sub := full; ; sub = (sub - 1) & full {
+		if bits.OnesCount32(sub) >= k {
+			p := 1.0
+			for j := 0; j < m; j++ {
+				if sub&(1<<uint(j)) != 0 {
+					p *= 1 - losses[j]
+				} else {
+					p *= losses[j]
+				}
+			}
+			if p > 0 {
+				weighted += stats.KthSmallest(delays, sub, k) * p
+				pDeliver += p
+			}
+		}
+		if sub == 0 {
+			break
+		}
+	}
+	if pDeliver <= 0 {
+		// All delivery patterns with >= k arrivals have probability zero;
+		// the symbol is lost with certainty, so the conditional delay is
+		// undefined. This cannot happen for channels with Loss < 1.
+		panic("core: subset delay undefined: certain loss")
+	}
+	return weighted / pDeliver
+}
+
+// checkSubsetParams panics unless 1 <= k <= m.
+func checkSubsetParams(k, m int) {
+	if k < 1 || k > m {
+		panic(fmt.Sprintf("core: threshold %d outside [1, %d]", k, m))
+	}
+}
+
+// maskValues extracts values[i] for each channel i selected by mask. It
+// panics if the mask selects indices beyond the set.
+func (s Set) maskValues(mask uint32, values []float64) []float64 {
+	out := make([]float64, 0, bits.OnesCount32(mask))
+	for i := range values {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, values[i])
+		}
+	}
+	if bits.OnesCount32(mask) != len(out) {
+		panic(fmt.Sprintf("core: mask %b selects channels beyond set of %d", mask, len(s)))
+	}
+	return out
+}
+
+// maskIndices returns the channel indices selected by mask, ascending.
+func maskIndices(mask uint32) []int {
+	out := make([]int, 0, bits.OnesCount32(mask))
+	for mask != 0 {
+		i := bits.TrailingZeros32(mask)
+		out = append(out, i)
+		mask &^= 1 << uint(i)
+	}
+	return out
+}
+
+func invertProbs(ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = 1 - p
+	}
+	return out
+}

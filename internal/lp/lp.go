@@ -1,0 +1,288 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in standard equality form:
+//
+//	minimize    c·x
+//	subject to  A x = b,  x >= 0.
+//
+// It exists to solve the share-schedule programs of the paper's Sections
+// IV-B and IV-D, which are small (tens of variables for n = 5 channels) and
+// dense, so a textbook tableau method with Bland's anti-cycling rule is the
+// right tool. Inequality constraints can be expressed by the caller with
+// explicit slack variables; the schedule programs are naturally equalities.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Solver failure modes.
+var (
+	// ErrInfeasible means no x >= 0 satisfies A x = b.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded means the objective decreases without bound.
+	ErrUnbounded = errors.New("lp: unbounded")
+	// ErrBadProblem means the problem dimensions are inconsistent.
+	ErrBadProblem = errors.New("lp: malformed problem")
+)
+
+// pivotTolerance distinguishes zero from rounding noise during pivoting.
+const pivotTolerance = 1e-9
+
+// feasibilityTolerance bounds the acceptable phase-1 objective for a
+// feasible problem.
+const feasibilityTolerance = 1e-7
+
+// maxIterations caps simplex iterations as a defense against bugs; Bland's
+// rule guarantees termination, so hitting the cap indicates a logic error.
+const maxIterations = 100000
+
+// Problem is a linear program in standard form: minimize C·x subject to
+// A x = B and x >= 0. Every row of A must have len(C) entries.
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// Solution is an optimal vertex of the feasible region.
+type Solution struct {
+	// X is the optimal assignment, len(C) entries.
+	X []float64
+	// Objective is C·X.
+	Objective float64
+	// Duals are the simplex multipliers y, one per constraint row: the
+	// shadow prices. Duals[i] approximates the change in the optimal
+	// objective per unit increase of B[i]. Rows whose right-hand side was
+	// negated during normalization have their sign restored, so the duals
+	// always refer to the caller's original constraints.
+	Duals []float64
+}
+
+func (p Problem) validate() error {
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("%w: %d constraint rows but %d right-hand sides", ErrBadProblem, len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != len(p.C) {
+			return fmt.Errorf("%w: row %d has %d entries, want %d", ErrBadProblem, i, len(row), len(p.C))
+		}
+	}
+	if len(p.C) == 0 {
+		return fmt.Errorf("%w: no variables", ErrBadProblem)
+	}
+	for i, b := range p.B {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("%w: b[%d] = %v", ErrBadProblem, i, b)
+		}
+	}
+	for j, c := range p.C {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: c[%d] = %v", ErrBadProblem, j, c)
+		}
+	}
+	return nil
+}
+
+// tableau is the working state of the simplex method: rows of the constraint
+// matrix augmented with the right-hand side, plus the current basis.
+type tableau struct {
+	rows  [][]float64 // m x (cols+1); last column is the RHS
+	basis []int       // basis[i] = variable index basic in row i
+	cols  int         // number of structural columns (excludes RHS)
+}
+
+// Solve finds an optimal solution to the problem, or reports infeasibility
+// or unboundedness.
+func Solve(p Problem) (Solution, error) {
+	if err := p.validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Build the phase-1 tableau: original columns plus one artificial
+	// variable per row, with b >= 0 enforced by row negation.
+	t := &tableau{
+		rows:  make([][]float64, m),
+		basis: make([]int, m),
+		cols:  n + m,
+	}
+	signs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, t.cols+1)
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+		}
+		signs[i] = sign
+		for j := 0; j < n; j++ {
+			row[j] = sign * p.A[i][j]
+		}
+		row[n+i] = 1
+		row[t.cols] = sign * p.B[i]
+		t.rows[i] = row
+		t.basis[i] = n + i
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	phase1Cost := make([]float64, t.cols)
+	for j := n; j < t.cols; j++ {
+		phase1Cost[j] = 1
+	}
+	if err := t.optimize(phase1Cost, t.cols); err != nil {
+		// Phase 1 is bounded below by zero, so unboundedness here is a bug.
+		return Solution{}, fmt.Errorf("phase 1: %w", err)
+	}
+	if obj := t.objective(phase1Cost); obj > feasibilityTolerance {
+		return Solution{}, fmt.Errorf("%w: phase-1 objective %g", ErrInfeasible, obj)
+	}
+
+	// Drive any remaining artificial variables out of the basis; rows where
+	// that is impossible are redundant constraints and can be zeroed.
+	t.expelArtificials(n)
+
+	// Phase 2: minimize the real objective over the original columns only.
+	phase2Cost := make([]float64, t.cols)
+	copy(phase2Cost, p.C)
+	if err := t.optimize(phase2Cost, n); err != nil {
+		return Solution{}, err
+	}
+
+	x := make([]float64, n)
+	for i, v := range t.basis {
+		if v < n {
+			x[v] = t.rows[i][t.cols]
+		}
+	}
+	var obj float64
+	for j := range x {
+		obj += p.C[j] * x[j]
+	}
+
+	// Duals from the artificial columns: column n+i of the tableau holds
+	// B^{-1} e_i, so y_i = c_B · rows[·][n+i]. Undo the row normalization
+	// signs so duals refer to the caller's constraints.
+	duals := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var y float64
+		for r, v := range t.basis {
+			if v < n && phase2Cost[v] != 0 {
+				y += phase2Cost[v] * t.rows[r][n+i]
+			}
+		}
+		duals[i] = signs[i] * y
+	}
+	return Solution{X: x, Objective: obj, Duals: duals}, nil
+}
+
+// objective evaluates cost over the current basic solution.
+func (t *tableau) objective(cost []float64) float64 {
+	var obj float64
+	for i, v := range t.basis {
+		obj += cost[v] * t.rows[i][t.cols]
+	}
+	return obj
+}
+
+// reducedCost computes cost[j] - y·A_j where y are the simplex multipliers
+// implied by the basis, using the tableau's current (already pivoted) form:
+// in tableau form the reduced cost is cost[j] - Σ_i cost[basis[i]]·rows[i][j].
+func (t *tableau) reducedCost(cost []float64, j int) float64 {
+	rc := cost[j]
+	for i, v := range t.basis {
+		if c := cost[v]; c != 0 {
+			rc -= c * t.rows[i][j]
+		}
+	}
+	return rc
+}
+
+// optimize runs primal simplex iterations with Bland's rule until no column
+// among the first allowedCols has a negative reduced cost.
+func (t *tableau) optimize(cost []float64, allowedCols int) error {
+	for iter := 0; iter < maxIterations; iter++ {
+		// Bland's rule: entering variable is the lowest-index column with a
+		// negative reduced cost.
+		enter := -1
+		for j := 0; j < allowedCols; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			if t.reducedCost(cost, j) < -pivotTolerance {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+
+		// Ratio test; Bland tie-break on the leaving variable's index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i, row := range t.rows {
+			if row[enter] > pivotTolerance {
+				ratio := row[t.cols] / row[enter]
+				if ratio < bestRatio-pivotTolerance ||
+					(math.Abs(ratio-bestRatio) <= pivotTolerance && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return fmt.Errorf("lp: iteration limit reached (internal error)")
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, v := range t.basis {
+		if v == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	pivotRow := t.rows[leave]
+	pv := pivotRow[enter]
+	for j := range pivotRow {
+		pivotRow[j] /= pv
+	}
+	for i, row := range t.rows {
+		if i == leave {
+			continue
+		}
+		if f := row[enter]; f != 0 {
+			for j := range row {
+				row[j] -= f * pivotRow[j]
+			}
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// expelArtificials pivots artificial variables (columns >= n) out of the
+// basis. A basic artificial at level zero whose row has no eligible pivot
+// column corresponds to a redundant constraint; the row is left in place
+// (it is all zeros across the original columns) and is harmless.
+func (t *tableau) expelArtificials(n int) {
+	for i, v := range t.basis {
+		if v < n {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(t.rows[i][j]) > pivotTolerance {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package measure estimates channel properties from live traffic.
+//
+// The model consumes a measured channel quadruple (z, l, d, r); the paper
+// obtains l, d, r with iperf runs before each experiment. This package
+// provides the estimators a deployment needs to do the same continuously:
+//
+//   - EWMA: exponentially weighted moving average, the basic smoother.
+//   - DelayEstimator: RFC 6298-style smoothed delay plus variance.
+//   - LossEstimator: loss fraction from sequence-number gaps, RTP-style.
+//   - RateMeter: windowed throughput.
+//   - Prober/Sink: an active probing pair that runs over any remicss.Link
+//     and yields a core.Channel estimate for the path.
+//
+// Risk (z) is not observable from traffic; estimate it with internal/risk.
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average. The zero value is not
+// ready; construct with NewEWMA.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA creates an EWMA with smoothing factor alpha in (0, 1]; larger
+// alpha weights new samples more.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("measure: alpha %v outside (0, 1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Observe folds in a sample. The first sample initializes the average.
+func (e *EWMA) Observe(sample float64) {
+	if !e.primed {
+		e.value = sample
+		e.primed = true
+		return
+	}
+	e.value += e.alpha * (sample - e.value)
+}
+
+// Value returns the current average; false until the first sample.
+func (e *EWMA) Value() (float64, bool) { return e.value, e.primed }
+
+// DelayEstimator tracks smoothed one-way delay and its variation with the
+// RFC 6298 gains (1/8 for the mean, 1/4 for the deviation).
+type DelayEstimator struct {
+	srtt, rttvar time.Duration
+	primed       bool
+}
+
+// Observe folds in one delay sample.
+func (d *DelayEstimator) Observe(sample time.Duration) {
+	if !d.primed {
+		d.srtt = sample
+		d.rttvar = sample / 2
+		d.primed = true
+		return
+	}
+	diff := d.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	d.rttvar += (diff - d.rttvar) / 4
+	d.srtt += (sample - d.srtt) / 8
+}
+
+// Smoothed returns the smoothed delay; false until the first sample.
+func (d *DelayEstimator) Smoothed() (time.Duration, bool) { return d.srtt, d.primed }
+
+// Variation returns the smoothed delay variation.
+func (d *DelayEstimator) Variation() time.Duration { return d.rttvar }
+
+// LossEstimator infers loss from a monotonically increasing sequence
+// stream: a received sequence above the next expected one implies the gap
+// was lost (late reordering within `reorderSlack` is tolerated by keeping
+// recent gaps provisional).
+type LossEstimator struct {
+	next     uint64
+	received int64
+	lost     int64
+	pending  map[uint64]struct{} // provisional losses awaiting late arrival
+	slack    int
+	order    []uint64
+}
+
+// NewLossEstimator builds an estimator tolerating reordering up to slack
+// outstanding gaps (0 means strict ordering).
+func NewLossEstimator(slack int) (*LossEstimator, error) {
+	if slack < 0 {
+		return nil, errors.New("measure: negative reorder slack")
+	}
+	return &LossEstimator{pending: make(map[uint64]struct{}), slack: slack}, nil
+}
+
+// Observe records arrival of the given sequence number.
+func (l *LossEstimator) Observe(seq uint64) {
+	switch {
+	case seq == l.next:
+		l.received++
+		l.next++
+	case seq > l.next:
+		// Everything between next and seq is provisionally lost.
+		for s := l.next; s < seq && len(l.pending) < 1<<20; s++ {
+			l.pending[s] = struct{}{}
+			l.order = append(l.order, s)
+		}
+		l.received++
+		l.next = seq + 1
+	default: // late arrival
+		if _, ok := l.pending[seq]; ok {
+			delete(l.pending, seq)
+			l.received++
+		}
+		// Otherwise a duplicate or ancient packet: ignore.
+	}
+	// Gaps older than the slack window become definitive losses.
+	for len(l.order) > 0 && len(l.pending) > l.slack {
+		s := l.order[0]
+		l.order = l.order[1:]
+		if _, ok := l.pending[s]; ok {
+			delete(l.pending, s)
+			l.lost++
+		}
+	}
+}
+
+// Fraction returns the loss estimate lost/(lost+received); 0 before any
+// data.
+func (l *LossEstimator) Fraction() float64 {
+	total := l.lost + l.received
+	if total == 0 {
+		return 0
+	}
+	return float64(l.lost) / float64(total)
+}
+
+// Counts returns (received, lost) so far, excluding provisional gaps.
+func (l *LossEstimator) Counts() (received, lost int64) { return l.received, l.lost }
+
+// RateMeter measures throughput over a sliding window.
+type RateMeter struct {
+	window  time.Duration
+	samples []rateSample
+	total   int64
+}
+
+type rateSample struct {
+	at time.Duration
+	n  int64
+}
+
+// NewRateMeter builds a meter with the given averaging window.
+func NewRateMeter(window time.Duration) (*RateMeter, error) {
+	if window <= 0 {
+		return nil, errors.New("measure: non-positive window")
+	}
+	return &RateMeter{window: window}, nil
+}
+
+// Observe records n units (symbols, bytes) at the given clock reading.
+func (r *RateMeter) Observe(now time.Duration, n int64) {
+	r.samples = append(r.samples, rateSample{at: now, n: n})
+	r.total += n
+	r.expire(now)
+}
+
+// Rate returns units per second over the window ending at now.
+func (r *RateMeter) Rate(now time.Duration) float64 {
+	r.expire(now)
+	if len(r.samples) == 0 {
+		return 0
+	}
+	span := r.window.Seconds()
+	return float64(r.total) / span
+}
+
+func (r *RateMeter) expire(now time.Duration) {
+	cut := 0
+	for cut < len(r.samples) && now-r.samples[cut].at > r.window {
+		r.total -= r.samples[cut].n
+		cut++
+	}
+	if cut > 0 {
+		r.samples = append(r.samples[:0], r.samples[cut:]...)
+	}
+}

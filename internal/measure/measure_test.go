@@ -1,0 +1,255 @@
+package measure
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"remicss/internal/netem"
+)
+
+func TestEWMA(t *testing.T) {
+	e, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Value(); ok {
+		t.Error("unprimed EWMA reports a value")
+	}
+	e.Observe(10)
+	if v, _ := e.Value(); v != 10 {
+		t.Errorf("first sample = %v", v)
+	}
+	e.Observe(20)
+	if v, _ := e.Value(); v != 15 {
+		t.Errorf("after second sample = %v, want 15", v)
+	}
+	for _, bad := range []float64{0, -1, 1.5, math.NaN()} {
+		if _, err := NewEWMA(bad); err == nil {
+			t.Errorf("alpha %v accepted", bad)
+		}
+	}
+}
+
+func TestDelayEstimatorConverges(t *testing.T) {
+	var d DelayEstimator
+	if _, ok := d.Smoothed(); ok {
+		t.Error("unprimed estimator reports a value")
+	}
+	for i := 0; i < 200; i++ {
+		d.Observe(10 * time.Millisecond)
+	}
+	got, _ := d.Smoothed()
+	if got != 10*time.Millisecond {
+		t.Errorf("smoothed = %v, want 10ms", got)
+	}
+	if d.Variation() > time.Millisecond {
+		t.Errorf("variation = %v for constant input", d.Variation())
+	}
+	// A step change moves the estimate toward the new level.
+	for i := 0; i < 50; i++ {
+		d.Observe(30 * time.Millisecond)
+	}
+	got, _ = d.Smoothed()
+	if got < 25*time.Millisecond {
+		t.Errorf("smoothed = %v after step to 30ms", got)
+	}
+}
+
+func TestLossEstimatorCleanStream(t *testing.T) {
+	l, err := NewLossEstimator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < 100; seq++ {
+		l.Observe(seq)
+	}
+	if got := l.Fraction(); got != 0 {
+		t.Errorf("loss = %v on clean stream", got)
+	}
+	recv, lost := l.Counts()
+	if recv != 100 || lost != 0 {
+		t.Errorf("counts = (%d, %d)", recv, lost)
+	}
+}
+
+func TestLossEstimatorDetectsGaps(t *testing.T) {
+	l, err := NewLossEstimator(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop every 5th of 1000.
+	for seq := uint64(0); seq < 1000; seq++ {
+		if seq%5 == 4 {
+			continue
+		}
+		l.Observe(seq)
+	}
+	if got := l.Fraction(); math.Abs(got-0.2) > 0.01 {
+		t.Errorf("loss = %v, want ~0.2", got)
+	}
+}
+
+func TestLossEstimatorToleratesReordering(t *testing.T) {
+	l, err := NewLossEstimator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap adjacent pairs: 1,0,3,2,...; nothing actually lost.
+	for seq := uint64(0); seq < 100; seq += 2 {
+		l.Observe(seq + 1)
+		l.Observe(seq)
+	}
+	if got := l.Fraction(); got != 0 {
+		t.Errorf("loss = %v for reordered-only stream", got)
+	}
+	if _, err := NewLossEstimator(-1); err == nil {
+		t.Error("negative slack accepted")
+	}
+}
+
+func TestLossEstimatorDuplicatesIgnored(t *testing.T) {
+	l, err := NewLossEstimator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Observe(0)
+	l.Observe(0)
+	l.Observe(1)
+	recv, lost := l.Counts()
+	if recv != 2 || lost != 0 {
+		t.Errorf("counts = (%d, %d), want (2, 0)", recv, lost)
+	}
+}
+
+func TestRateMeterWindow(t *testing.T) {
+	r, err := NewRateMeter(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 units spread over the first second.
+	for i := 0; i < 100; i++ {
+		r.Observe(time.Duration(i)*10*time.Millisecond, 1)
+	}
+	if got := r.Rate(time.Second); math.Abs(got-100) > 2 {
+		t.Errorf("rate = %v, want ~100", got)
+	}
+	// Two seconds later the window is empty.
+	if got := r.Rate(3 * time.Second); got != 0 {
+		t.Errorf("rate = %v after window expiry", got)
+	}
+	if _, err := NewRateMeter(0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestProbeEncodeDecode(t *testing.T) {
+	buf := EncodeProbe(42, 7*time.Millisecond)
+	seq, at, err := DecodeProbe(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || at != 7*time.Millisecond {
+		t.Errorf("decoded (%d, %v)", seq, at)
+	}
+	if _, _, err := DecodeProbe(buf[:probeSize-1]); !errors.Is(err, ErrNotProbe) {
+		t.Errorf("short datagram: got %v", err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = 'X'
+	if _, _, err := DecodeProbe(bad); !errors.Is(err, ErrNotProbe) {
+		t.Errorf("bad magic: got %v", err)
+	}
+}
+
+// TestProbeEstimatesChannel drives a Prober/Sink pair over an emulated
+// channel with known properties and checks the estimates.
+func TestProbeEstimatesChannel(t *testing.T) {
+	eng := netem.NewEngine()
+	sink, err := NewSink(eng.Now, time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := netem.NewLink(eng, netem.LinkConfig{
+		Rate:       1000,
+		Loss:       0.1,
+		Delay:      20 * time.Millisecond,
+		QueueLimit: 64,
+	}, rand.New(rand.NewSource(1)), func(p []byte, _ time.Duration) {
+		if err := sink.Handle(p); err != nil {
+			t.Errorf("sink: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober, err := NewProber(link, eng.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer at 80% of capacity for 5 virtual seconds.
+	interval := 1250 * time.Microsecond
+	var send func()
+	send = func() {
+		prober.Probe()
+		if eng.Now() < 5*time.Second {
+			eng.Schedule(interval, send)
+		}
+	}
+	eng.Schedule(0, send)
+	eng.Run(5 * time.Second)
+
+	est, err := sink.Estimate(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Risk != 0.25 {
+		t.Errorf("risk = %v (caller-supplied)", est.Risk)
+	}
+	if math.Abs(est.Loss-0.1) > 0.02 {
+		t.Errorf("loss estimate = %v, want ~0.1", est.Loss)
+	}
+	// One-way delay = serialization (1ms at 1000pps) + 20ms propagation.
+	if est.Delay < 20*time.Millisecond || est.Delay > 25*time.Millisecond {
+		t.Errorf("delay estimate = %v, want ~21ms", est.Delay)
+	}
+	// Received rate ~ offered * (1-loss) = 720/s.
+	if math.Abs(est.Rate-720) > 40 {
+		t.Errorf("rate estimate = %v, want ~720", est.Rate)
+	}
+	if prober.Attempts() == 0 || prober.Accepted() == 0 {
+		t.Error("prober counted nothing")
+	}
+}
+
+func TestSinkNoProbes(t *testing.T) {
+	sink, err := NewSink(func() time.Duration { return 0 }, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sink.Estimate(0); err == nil {
+		t.Error("estimate with no probes succeeded")
+	}
+	if err := sink.Handle([]byte("junk")); !errors.Is(err, ErrNotProbe) {
+		t.Errorf("junk handled: %v", err)
+	}
+}
+
+func TestProberValidation(t *testing.T) {
+	eng := netem.NewEngine()
+	link, err := netem.NewLink(eng, netem.LinkConfig{Rate: 1}, rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProber(nil, eng.Now); err == nil {
+		t.Error("nil link accepted")
+	}
+	if _, err := NewProber(link, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewSink(nil, time.Second, 0); err == nil {
+		t.Error("nil clock accepted for sink")
+	}
+}

@@ -1,0 +1,137 @@
+package measure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"remicss/internal/core"
+	"remicss/internal/remicss"
+)
+
+// Probe datagram layout: magic (2) | seq (8) | sentAt (8).
+const (
+	probeSize  = 18
+	probeMagic = 0x5052 // "PR"
+)
+
+// ErrNotProbe marks datagrams that are not probe packets.
+var ErrNotProbe = errors.New("measure: not a probe datagram")
+
+// EncodeProbe builds a probe datagram.
+func EncodeProbe(seq uint64, sentAt time.Duration) []byte {
+	buf := make([]byte, probeSize)
+	binary.BigEndian.PutUint16(buf[0:2], probeMagic)
+	binary.BigEndian.PutUint64(buf[2:10], seq)
+	binary.BigEndian.PutUint64(buf[10:18], uint64(sentAt))
+	return buf
+}
+
+// DecodeProbe parses a probe datagram.
+func DecodeProbe(buf []byte) (seq uint64, sentAt time.Duration, err error) {
+	if len(buf) != probeSize || binary.BigEndian.Uint16(buf[0:2]) != probeMagic {
+		return 0, 0, ErrNotProbe
+	}
+	return binary.BigEndian.Uint64(buf[2:10]),
+		time.Duration(binary.BigEndian.Uint64(buf[10:18])), nil
+}
+
+// Prober sends numbered, timestamped probes over one channel. Pair it with
+// a Sink on the receiving side to estimate the channel's (l, d, r).
+type Prober struct {
+	link  remicss.Link
+	clock func() time.Duration
+	seq   uint64
+	sent  int64
+}
+
+// NewProber builds a prober over the link using the given clock.
+func NewProber(link remicss.Link, clock func() time.Duration) (*Prober, error) {
+	if link == nil {
+		return nil, errors.New("measure: nil link")
+	}
+	if clock == nil {
+		return nil, errors.New("measure: nil clock")
+	}
+	return &Prober{link: link, clock: clock}, nil
+}
+
+// Probe sends one probe; false means the channel refused it (also counted,
+// since refusals at a given offered rate reveal the rate limit).
+func (p *Prober) Probe() bool {
+	ok := p.link.Send(EncodeProbe(p.seq, p.clock()))
+	p.seq++
+	if ok {
+		p.sent++
+	}
+	return ok
+}
+
+// Attempts returns the number of probes attempted (accepted or refused).
+func (p *Prober) Attempts() uint64 { return p.seq }
+
+// Accepted returns the number the channel accepted.
+func (p *Prober) Accepted() int64 { return p.sent }
+
+// Sink accumulates probe arrivals into channel estimates.
+type Sink struct {
+	clock func() time.Duration
+	loss  *LossEstimator
+	delay DelayEstimator
+	rate  *RateMeter
+}
+
+// NewSink builds a probe sink. window sets the rate-measurement window;
+// slack the loss estimator's reordering tolerance.
+func NewSink(clock func() time.Duration, window time.Duration, slack int) (*Sink, error) {
+	if clock == nil {
+		return nil, errors.New("measure: nil clock")
+	}
+	loss, err := NewLossEstimator(slack)
+	if err != nil {
+		return nil, err
+	}
+	rate, err := NewRateMeter(window)
+	if err != nil {
+		return nil, err
+	}
+	return &Sink{clock: clock, loss: loss, rate: rate}, nil
+}
+
+// Handle processes one received datagram; non-probe datagrams are reported
+// as ErrNotProbe and otherwise ignored.
+func (s *Sink) Handle(buf []byte) error {
+	seq, sentAt, err := DecodeProbe(buf)
+	if err != nil {
+		return err
+	}
+	now := s.clock()
+	s.loss.Observe(seq)
+	s.delay.Observe(now - sentAt)
+	s.rate.Observe(now, 1)
+	return nil
+}
+
+// Estimate summarizes the probes into a channel quadruple. Risk must be
+// supplied by the caller (from internal/risk); it is not observable from
+// probe traffic.
+func (s *Sink) Estimate(risk float64) (core.Channel, error) {
+	d, ok := s.delay.Smoothed()
+	if !ok {
+		return core.Channel{}, fmt.Errorf("measure: no probes received")
+	}
+	c := core.Channel{
+		Risk:  risk,
+		Loss:  s.loss.Fraction(),
+		Delay: d,
+		Rate:  s.rate.Rate(s.clock()),
+	}
+	if c.Rate <= 0 {
+		// The window may have expired since the last probe; rate of the
+		// whole run is unknown, fall back to a minimal positive rate so the
+		// quadruple stays in the model's domain.
+		c.Rate = 1e-9
+	}
+	return c, nil
+}

@@ -1,0 +1,208 @@
+package micss
+
+import (
+	"bytes"
+	"remicss/internal/sharing"
+	"testing"
+	"time"
+
+	"remicss/internal/netem"
+)
+
+func fiveLinks(rate float64, loss float64) []netem.LinkConfig {
+	cfgs := make([]netem.LinkConfig, 5)
+	for i := range cfgs {
+		cfgs[i] = netem.LinkConfig{Rate: rate, Loss: loss, QueueLimit: 64}
+	}
+	return cfgs
+}
+
+func TestLosslessDeliversEverything(t *testing.T) {
+	s, err := NewSession(Config{Links: fiveLinks(1000, 0), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const symbols = 100
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	for i := 0; i < symbols; i++ {
+		if err := s.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Engine().RunUntilIdle()
+	st := s.Stats()
+	if st.SymbolsDelivered != symbols {
+		t.Errorf("delivered %d, want %d", st.SymbolsDelivered, symbols)
+	}
+	if st.Retransmissions != 0 {
+		t.Errorf("retransmissions %d on lossless channels", st.Retransmissions)
+	}
+	if st.SharesSent != symbols*5 {
+		t.Errorf("shares sent %d, want %d", st.SharesSent, symbols*5)
+	}
+}
+
+func TestLossyStillDeliversViaRetransmission(t *testing.T) {
+	s, err := NewSession(Config{Links: fiveLinks(1000, 0.2), Seed: 2, RTO: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const symbols = 100
+	for i := 0; i < symbols; i++ {
+		if err := s.Send([]byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Engine().RunUntilIdle()
+	st := s.Stats()
+	if st.SymbolsDelivered != symbols {
+		t.Errorf("delivered %d, want %d (reliable transport)", st.SymbolsDelivered, symbols)
+	}
+	if st.Retransmissions == 0 {
+		t.Error("no retransmissions despite 20% loss")
+	}
+}
+
+func TestRetransmissionStallsRaiseDelay(t *testing.T) {
+	mk := func(loss float64) time.Duration {
+		s, err := NewSession(Config{
+			Links: fiveLinks(1000, loss),
+			Seed:  3,
+			RTO:   50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if err := s.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Engine().RunUntilIdle()
+		return s.Stats().MeanDelay
+	}
+	clean := mk(0)
+	lossy := mk(0.3)
+	if lossy <= clean {
+		t.Errorf("mean delay with loss (%v) not above lossless (%v)", lossy, clean)
+	}
+}
+
+func TestWindowQueuesExcessSymbols(t *testing.T) {
+	s, err := NewSession(Config{Links: fiveLinks(100, 0), Seed: 4, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Engine().RunUntilIdle()
+	if got := s.Stats().SymbolsDelivered; got != 50 {
+		t.Errorf("delivered %d, want 50", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSession(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewSession(Config{Links: []netem.LinkConfig{{Rate: -1}}}); err == nil {
+		t.Error("invalid link accepted")
+	}
+}
+
+func TestDefaultRTOScalesWithDelay(t *testing.T) {
+	links := fiveLinks(1000, 0)
+	links[2].Delay = 200 * time.Millisecond
+	s, err := NewSession(Config{Links: links, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4*200*time.Millisecond + 100*time.Millisecond; s.cfg.RTO != want {
+		t.Errorf("default RTO = %v, want %v", s.cfg.RTO, want)
+	}
+}
+
+func BenchmarkMICSSLossless(b *testing.B) {
+	s, err := NewSession(Config{Links: fiveLinks(1e6, 0), Seed: 1, Window: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x11}, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%512 == 0 {
+			s.Engine().RunUntilIdle()
+		}
+	}
+	s.Engine().RunUntilIdle()
+}
+
+func TestEncodeDecodeSeq(t *testing.T) {
+	s, err := NewSession(Config{Links: fiveLinks(100, 0), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &symbolState{seq: 0xDEADBEEFCAFE, shares: make([]sharing.Share, 5)}
+	for i := range st.shares {
+		st.shares[i] = sharing.Share{Index: i, Data: []byte{1, 2, 3}}
+	}
+	buf := s.encode(st, 3)
+	if buf[0] != 3 {
+		t.Errorf("channel byte = %d", buf[0])
+	}
+	seq, ok := decodeSeq(buf)
+	if !ok || seq != 0xDEADBEEFCAFE {
+		t.Errorf("decoded seq = %x ok=%v", seq, ok)
+	}
+	if _, ok := decodeSeq([]byte{1, 2}); ok {
+		t.Error("short buffer decoded")
+	}
+}
+
+func TestThroughputBoundedBySlowestChannel(t *testing.T) {
+	// MICSS sends every symbol on every channel, so goodput cannot exceed
+	// the slowest channel's rate — and a window larger than the bottleneck
+	// queue makes it much worse (drops trigger RTO storms into a full
+	// queue), the congestion failure mode of naive reliable transport.
+	run := func(window int) float64 {
+		links := fiveLinks(1000, 0)
+		links[2].Rate = 100 // slow channel
+		s, err := NewSession(Config{Links: links, Seed: 8, Window: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := s.Engine()
+		sent := 0
+		var offer func()
+		offer = func() {
+			if err := s.Send([]byte{byte(sent)}); err == nil {
+				sent++
+			}
+			if eng.Now() < 5*time.Second {
+				eng.Schedule(2*time.Millisecond, offer) // 500/s offered
+			}
+		}
+		eng.Schedule(0, offer)
+		eng.Run(5 * time.Second)
+		return float64(s.Stats().SymbolsDelivered) / 5
+	}
+
+	smallWindow := run(8) // in-flight fits the bottleneck queue
+	if smallWindow > 110 {
+		t.Errorf("MICSS goodput %v/s exceeds slowest channel's 100/s", smallWindow)
+	}
+	if smallWindow < 80 {
+		t.Errorf("MICSS goodput %v/s far below the slowest channel", smallWindow)
+	}
+	largeWindow := run(64) // overruns the 64-deep queue, thrashes on RTO
+	if largeWindow >= smallWindow {
+		t.Errorf("window 64 goodput %v/s not degraded vs window 8's %v/s "+
+			"(expected RTO thrashing)", largeWindow, smallWindow)
+	}
+}

@@ -1,0 +1,84 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Chain is a multi-hop path: a sequence of links where each hop forwards to
+// the next, modeling one network path through intermediate routers. It
+// satisfies the protocol's Link contract, so a Chain can stand wherever a
+// single channel does.
+//
+// Chains exist to validate the path-composition rules of internal/pathset
+// empirically: end-to-end loss compounds per hop, delay adds (plus
+// serialization), and throughput bottlenecks at the slowest hop.
+type Chain struct {
+	hops []*Link
+}
+
+// NewChain builds a path of hops with the given per-hop configurations.
+// deliver receives payloads that survive every hop; rng seeds each hop's
+// loss process independently.
+func NewChain(eng *Engine, cfgs []LinkConfig, rng *rand.Rand, deliver func(payload []byte, arrival time.Duration)) (*Chain, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("netem: empty chain")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("netem: nil rng")
+	}
+	c := &Chain{hops: make([]*Link, len(cfgs))}
+	// Build back to front so each hop can forward to the next.
+	for i := len(cfgs) - 1; i >= 0; i-- {
+		next := func(payload []byte, arrival time.Duration) {
+			if deliver != nil {
+				deliver(payload, arrival)
+			}
+		}
+		if i < len(cfgs)-1 {
+			nextHop := c.hops[i+1]
+			next = func(payload []byte, _ time.Duration) {
+				// Router forwarding: drop silently if the next hop's queue
+				// is full, as a real router would.
+				nextHop.Send(payload)
+			}
+		}
+		link, err := NewLink(eng, cfgs[i], rand.New(rand.NewSource(rng.Int63())), next)
+		if err != nil {
+			return nil, fmt.Errorf("netem: chain hop %d: %w", i, err)
+		}
+		c.hops[i] = link
+	}
+	return c, nil
+}
+
+// Send enqueues a payload at the first hop.
+func (c *Chain) Send(payload []byte) bool { return c.hops[0].Send(payload) }
+
+// Writable reports the first hop's readiness — the only hop the sender's
+// epoll can see, exactly as on a real path.
+func (c *Chain) Writable() bool { return c.hops[0].Writable() }
+
+// Backlog reports the first hop's transmit backlog.
+func (c *Chain) Backlog() time.Duration { return c.hops[0].Backlog() }
+
+// Hops exposes the underlying links for failure injection and stats.
+func (c *Chain) Hops() []*Link { return c.hops }
+
+// Stats aggregates per-hop statistics: Sent from the first hop, Delivered
+// from the last, losses and drops summed across hops.
+func (c *Chain) Stats() LinkStats {
+	var s LinkStats
+	s.Sent = c.hops[0].Stats().Sent
+	s.Delivered = c.hops[len(c.hops)-1].Stats().Delivered
+	for _, h := range c.hops {
+		st := h.Stats()
+		s.Lost += st.Lost
+		s.Dropped += st.Dropped
+	}
+	// The first hop's sender-side drops were already counted in the loop;
+	// subtract nothing — Dropped aggregates queue drops anywhere on the
+	// path.
+	return s
+}

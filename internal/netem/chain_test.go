@@ -1,0 +1,197 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"remicss/internal/pathset"
+)
+
+func TestChainValidation(t *testing.T) {
+	eng := NewEngine()
+	if _, err := NewChain(eng, nil, rand.New(rand.NewSource(1)), nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewChain(eng, []LinkConfig{{Rate: 1}}, nil, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewChain(eng, []LinkConfig{{Rate: -1}}, rand.New(rand.NewSource(1)), nil); err == nil {
+		t.Error("invalid hop accepted")
+	}
+}
+
+func TestChainDelayAdds(t *testing.T) {
+	eng := NewEngine()
+	var arrival time.Duration
+	chain, err := NewChain(eng, []LinkConfig{
+		{Rate: 1000, Delay: 10 * time.Millisecond},
+		{Rate: 1000, Delay: 20 * time.Millisecond},
+		{Rate: 1000, Delay: 5 * time.Millisecond},
+	}, rand.New(rand.NewSource(1)), func(_ []byte, at time.Duration) { arrival = at })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chain.Send([]byte{1}) {
+		t.Fatal("send rejected")
+	}
+	eng.RunUntilIdle()
+	// 3 hops x 1ms serialization + 35ms propagation.
+	want := 3*time.Millisecond + 35*time.Millisecond
+	if arrival != want {
+		t.Errorf("arrival = %v, want %v", arrival, want)
+	}
+}
+
+func TestChainLossCompounds(t *testing.T) {
+	eng := NewEngine()
+	delivered := 0
+	losses := []float64{0.1, 0.2, 0.05}
+	cfgs := make([]LinkConfig, len(losses))
+	for i, l := range losses {
+		cfgs[i] = LinkConfig{Rate: 1e6, Loss: l, QueueLimit: 1 << 20}
+	}
+	chain, err := NewChain(eng, cfgs, rand.New(rand.NewSource(2)),
+		func(_ []byte, _ time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = 30000
+	for i := 0; i < sent; i++ {
+		if !chain.Send(nil) {
+			t.Fatal("send rejected")
+		}
+	}
+	eng.RunUntilIdle()
+	want := 1 - (1-0.1)*(1-0.2)*(1-0.05)
+	got := 1 - float64(delivered)/sent
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("end-to-end loss %v, want %v", got, want)
+	}
+	st := chain.Stats()
+	if st.Sent != sent || st.Delivered != int64(delivered) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestChainBottleneckRate(t *testing.T) {
+	eng := NewEngine()
+	delivered := 0
+	chain, err := NewChain(eng, []LinkConfig{
+		{Rate: 1000, QueueLimit: 16},
+		{Rate: 100, QueueLimit: 16}, // bottleneck
+		{Rate: 1000, QueueLimit: 16},
+	}, rand.New(rand.NewSource(3)), func(_ []byte, _ time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offer func()
+	offer = func() {
+		chain.Send(nil)
+		if eng.Now() < 10*time.Second {
+			eng.Schedule(2*time.Millisecond, offer) // 500/s offered
+		}
+	}
+	eng.Schedule(0, offer)
+	eng.Run(10 * time.Second)
+	rate := float64(delivered) / 10
+	if math.Abs(rate-100) > 5 {
+		t.Errorf("delivered rate %v, want ~100 (bottleneck)", rate)
+	}
+}
+
+// TestChainMatchesPathComposition is the empirical validation of
+// pathset.Path.Channel: a multi-hop emulated chain must exhibit exactly the
+// loss/delay/rate quadruple the composition rules predict.
+func TestChainMatchesPathComposition(t *testing.T) {
+	ms := time.Millisecond
+	edges := []pathset.Edge{
+		{From: "s", To: "r1", Risk: 0.2, Loss: 0.05, Delay: 4 * ms, Rate: 800},
+		{From: "r1", To: "r2", Risk: 0.1, Loss: 0.02, Delay: 7 * ms, Rate: 1200},
+		{From: "r2", To: "t", Risk: 0.3, Loss: 0.01, Delay: 2 * ms, Rate: 600},
+	}
+	g, err := pathset.NewGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := g.DisjointPaths("s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := paths[0].Channel()
+
+	eng := NewEngine()
+	delivered := 0
+	var delaySum time.Duration
+	var sendTimes []time.Duration
+	cfgs := make([]LinkConfig, len(edges))
+	for i, e := range edges {
+		cfgs[i] = LinkConfig{Rate: e.Rate, Loss: e.Loss, Delay: e.Delay, QueueLimit: 64}
+	}
+	seq := 0
+	chain, err := NewChain(eng, cfgs, rand.New(rand.NewSource(4)),
+		func(p []byte, at time.Duration) {
+			delivered++
+			idx := int(p[0]) | int(p[1])<<8
+			delaySum += at - sendTimes[idx]
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer at 10% of the bottleneck so queueing is negligible.
+	var offer func()
+	offer = func() {
+		payload := []byte{byte(seq), byte(seq >> 8)}
+		sendTimes = append(sendTimes, eng.Now())
+		chain.Send(payload)
+		seq++
+		if eng.Now() < 60*time.Second && seq < 60000 {
+			eng.Schedule(16666*time.Microsecond, offer)
+		}
+	}
+	eng.Schedule(0, offer)
+	eng.RunUntilIdle()
+
+	gotLoss := 1 - float64(delivered)/float64(seq)
+	if math.Abs(gotLoss-predicted.Loss) > 0.015 {
+		t.Errorf("measured loss %v, composition predicts %v", gotLoss, predicted.Loss)
+	}
+	gotDelay := delaySum / time.Duration(delivered)
+	// Serialization adds 1/800+1/1200+1/600 s ~ 3.75ms on top of the
+	// 13ms propagation the composition accounts for.
+	serialization := 3750 * time.Microsecond
+	want := predicted.Delay + serialization
+	if gotDelay < predicted.Delay || gotDelay > want+time.Millisecond {
+		t.Errorf("measured delay %v, composition predicts %v (+%v serialization)",
+			gotDelay, predicted.Delay, serialization)
+	}
+	if predicted.Rate != 600 {
+		t.Errorf("composed rate %v, want bottleneck 600", predicted.Rate)
+	}
+}
+
+func TestChainFailureInjection(t *testing.T) {
+	eng := NewEngine()
+	delivered := 0
+	chain, err := NewChain(eng, []LinkConfig{
+		{Rate: 1000},
+		{Rate: 1000},
+	}, rand.New(rand.NewSource(5)), func(_ []byte, _ time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the middle of the path: packets accepted at hop 0 die at hop 1.
+	chain.Hops()[1].SetDown(true)
+	if !chain.Writable() {
+		t.Error("first hop writability should be unaffected")
+	}
+	chain.Send([]byte{1})
+	eng.RunUntilIdle()
+	if delivered != 0 {
+		t.Error("delivery through a downed hop")
+	}
+	if chain.Stats().Dropped == 0 {
+		t.Error("downed hop drop not counted")
+	}
+}

@@ -1,0 +1,119 @@
+// Package netem is a discrete-event network emulator: the testbed substrate
+// for the protocol evaluation.
+//
+// The paper's experiments run over five dedicated wires shaped by the Linux
+// Hierarchical Token Bucket queueing class (rate limiting) and the netem
+// queueing discipline (loss and delay). This package reproduces that
+// environment in virtual time:
+//
+//   - Engine is a deterministic event loop with a virtual clock.
+//   - Link models one shaped channel: packets serialize at a fixed rate
+//     (htb), then suffer independent Bernoulli loss and a constant one-way
+//     delay (netem). A bounded transmit queue provides the "writability"
+//     signal the protocol's dynamic share schedule polls, standing in for
+//     epoll on a socket send buffer.
+//
+// Virtual time makes minute-long benchmark runs execute in milliseconds and
+// makes every experiment reproducible bit-for-bit from its RNG seed.
+package netem
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event simulation loop. It is not safe for concurrent
+// use: all events run on the caller's goroutine inside Run.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	nextID uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn after delay (possibly zero) of virtual time. Events at
+// the same instant run in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("netem: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not be in the past.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("netem: scheduling event at %v before now %v", t, e.now))
+	}
+	heap.Push(&e.queue, &event{at: t, id: e.nextID, fn: fn})
+	e.nextID++
+}
+
+// Run processes events in time order until the clock reaches the given
+// horizon. Events scheduled exactly at the horizon are executed. The clock
+// finishes at the horizon even if the queue drains early.
+func (e *Engine) Run(until time.Duration) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+	}
+	if until > e.now {
+		e.now = until
+	}
+}
+
+// RunUntilIdle processes every pending event regardless of time. Useful for
+// draining in-flight packets after the measurement window.
+func (e *Engine) RunUntilIdle() {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		e.now = next.at
+		next.fn()
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+type event struct {
+	at time.Duration
+	id uint64 // tiebreaker: preserve scheduling order at equal times
+	fn func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].id < q[j].id
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

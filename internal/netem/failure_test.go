@@ -1,0 +1,153 @@
+package netem
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSetDownRejectsAndRestores(t *testing.T) {
+	eng := NewEngine()
+	delivered := 0
+	link, err := NewLink(eng, LinkConfig{Rate: 1000}, rand.New(rand.NewSource(1)),
+		func(_ []byte, _ time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.SetDown(true)
+	if link.Writable() {
+		t.Error("downed link writable")
+	}
+	if link.Send([]byte{1}) {
+		t.Error("downed link accepted packet")
+	}
+	if !link.Down() {
+		t.Error("Down() false after SetDown(true)")
+	}
+	if got := link.Stats().Dropped; got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+	link.SetDown(false)
+	if !link.Writable() {
+		t.Error("restored link not writable")
+	}
+	if !link.Send([]byte{2}) {
+		t.Error("restored link rejected packet")
+	}
+	eng.RunUntilIdle()
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestInFlightPacketsSurviveLinkDown(t *testing.T) {
+	eng := NewEngine()
+	delivered := 0
+	link, err := NewLink(eng, LinkConfig{Rate: 10}, rand.New(rand.NewSource(2)),
+		func(_ []byte, _ time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Send([]byte{1})
+	eng.Schedule(10*time.Millisecond, func() { link.SetDown(true) })
+	eng.RunUntilIdle()
+	if delivered != 1 {
+		t.Errorf("in-flight packet lost on SetDown: delivered = %d", delivered)
+	}
+}
+
+func TestJitterSpreadsArrivals(t *testing.T) {
+	eng := NewEngine()
+	var arrivals []time.Duration
+	link, err := NewLink(eng, LinkConfig{
+		Rate:   1e6,
+		Delay:  10 * time.Millisecond,
+		Jitter: 5 * time.Millisecond,
+	}, rand.New(rand.NewSource(3)),
+		func(_ []byte, at time.Duration) { arrivals = append(arrivals, at) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if !link.Send(nil) {
+			// Queue may fill at the default limit; drain and continue.
+			eng.RunUntilIdle()
+			link.Send(nil)
+		}
+	}
+	eng.RunUntilIdle()
+	if len(arrivals) == 0 {
+		t.Fatal("no arrivals")
+	}
+	var minA, maxA = arrivals[0], arrivals[0]
+	reordered := false
+	for i, a := range arrivals {
+		if a < minA {
+			minA = a
+		}
+		if a > maxA {
+			maxA = a
+		}
+		if i > 0 && a < arrivals[i-1] {
+			reordered = true
+		}
+	}
+	if spread := maxA - minA; spread < 3*time.Millisecond {
+		t.Errorf("jitter spread only %v", spread)
+	}
+	// Note: the engine delivers in timestamp order, so the deliver
+	// callback sees sorted arrival times; reordering manifests as packets
+	// delivered in a different order than sent, which we detect by the
+	// arrival times NOT being in send order... with identical payloads we
+	// instead check that sorted order differs from raw only if engine
+	// delivered out of timestamp order, which it never does.
+	_ = reordered
+	if !sort.SliceIsSorted(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] }) {
+		t.Error("engine delivered out of time order")
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	eng := NewEngine()
+	if _, err := NewLink(eng, LinkConfig{Rate: 1, Jitter: -time.Second},
+		rand.New(rand.NewSource(1)), nil); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestJitterReordersPayloads(t *testing.T) {
+	// Distinct payloads: with jitter larger than the serialization
+	// interval, delivery order must differ from send order for some pair.
+	eng := NewEngine()
+	var order []byte
+	link, err := NewLink(eng, LinkConfig{
+		Rate:       1000,
+		Jitter:     50 * time.Millisecond,
+		QueueLimit: 1 << 16,
+	}, rand.New(rand.NewSource(4)),
+		func(p []byte, _ time.Duration) { order = append(order, p[0]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !link.Send([]byte{byte(i)}) {
+			t.Fatal("send rejected")
+		}
+	}
+	eng.RunUntilIdle()
+	if len(order) != 100 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("no reordering despite jitter >> serialization interval")
+	}
+}

@@ -1,0 +1,177 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// LinkConfig describes one emulated channel, mirroring what htb and netem
+// impose on the paper's testbed wires.
+type LinkConfig struct {
+	// Rate is the channel capacity in packets (share symbols) per second.
+	// Must be positive.
+	Rate float64
+	// Loss is the independent probability that a packet is dropped after
+	// serialization, as configured on netem. In [0, 1).
+	Loss float64
+	// Delay is the constant one-way propagation delay added by netem.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) per packet,
+	// as netem's jitter parameter does. Packets may reorder within the
+	// channel when Jitter exceeds the serialization interval.
+	Jitter time.Duration
+	// QueueLimit is the transmit queue depth in packets. A full queue makes
+	// the link unwritable (the epoll signal) and drops further sends.
+	// Defaults to DefaultQueueLimit when zero.
+	QueueLimit int
+}
+
+// DefaultQueueLimit is the transmit queue depth used when LinkConfig leaves
+// it zero: enough to keep the link busy, small enough that writability
+// tracks actual capacity, as with a small socket send buffer.
+const DefaultQueueLimit = 8
+
+// LinkStats counts link activity over the run.
+type LinkStats struct {
+	// Sent counts packets accepted into the transmit queue.
+	Sent int64
+	// Dropped counts packets rejected because the queue was full.
+	Dropped int64
+	// Lost counts packets dropped by the loss process after serialization.
+	Lost int64
+	// Delivered counts packets handed to the receiver.
+	Delivered int64
+}
+
+// Link is one emulated channel. Packets serialize in FIFO order at the
+// configured rate, then arrive after the configured delay unless lost.
+type Link struct {
+	eng     *Engine
+	cfg     LinkConfig
+	rng     *rand.Rand
+	deliver func(payload []byte, arrival time.Duration)
+
+	perPacket time.Duration
+	busyUntil time.Duration
+	queued    int
+	down      bool
+	stats     LinkStats
+}
+
+// NewLink creates a link on the engine. deliver is invoked (inside the
+// event loop) for every packet that survives; it may be nil for a sink.
+// rng drives the loss process and must not be shared with other links if
+// deterministic replay is desired.
+func NewLink(eng *Engine, cfg LinkConfig, rng *rand.Rand, deliver func(payload []byte, arrival time.Duration)) (*Link, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("netem: non-positive rate %v", cfg.Rate)
+	}
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return nil, fmt.Errorf("netem: loss %v outside [0, 1)", cfg.Loss)
+	}
+	if cfg.Delay < 0 {
+		return nil, fmt.Errorf("netem: negative delay %v", cfg.Delay)
+	}
+	if cfg.Jitter < 0 {
+		return nil, fmt.Errorf("netem: negative jitter %v", cfg.Jitter)
+	}
+	if cfg.QueueLimit < 0 {
+		return nil, fmt.Errorf("netem: negative queue limit %d", cfg.QueueLimit)
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("netem: nil rng")
+	}
+	return &Link{
+		eng:       eng,
+		cfg:       cfg,
+		rng:       rng,
+		deliver:   deliver,
+		perPacket: time.Duration(float64(time.Second) / cfg.Rate),
+	}, nil
+}
+
+// Config returns the link's configuration (with defaults applied).
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Writable reports whether the transmit queue has room, the signal the
+// dynamic share schedule uses to pick "the first m channels ready for
+// writing". A downed link is never writable.
+func (l *Link) Writable() bool { return !l.down && l.queued < l.cfg.QueueLimit }
+
+// SetDown fails or restores the link. While down, Send rejects every
+// packet and Writable reports false — the failure-injection hook for
+// channel-death experiments. Packets already serializing are unaffected.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// SetLoss changes the loss probability mid-run, for drifting-condition
+// experiments. It panics on probabilities outside [0, 1), matching the
+// constructor's validation.
+func (l *Link) SetLoss(loss float64) {
+	if loss < 0 || loss >= 1 {
+		panic(fmt.Sprintf("netem: loss %v outside [0, 1)", loss))
+	}
+	l.cfg.Loss = loss
+}
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// QueueLen returns the number of packets queued or serializing.
+func (l *Link) QueueLen() int { return l.queued }
+
+// Send enqueues a packet. It returns false (counting a drop) if the
+// transmit queue is full. The payload is not copied; callers must not
+// mutate it afterwards.
+func (l *Link) Send(payload []byte) bool {
+	if l.down || l.queued >= l.cfg.QueueLimit {
+		l.stats.Dropped++
+		return false
+	}
+	l.queued++
+	l.stats.Sent++
+
+	start := l.busyUntil
+	if now := l.eng.Now(); start < now {
+		start = now
+	}
+	done := start + l.perPacket
+	l.busyUntil = done
+
+	l.eng.At(done, func() {
+		l.queued--
+		if l.cfg.Loss > 0 && l.rng.Float64() < l.cfg.Loss {
+			l.stats.Lost++
+			return
+		}
+		arrival := done + l.cfg.Delay
+		if l.cfg.Jitter > 0 {
+			arrival += time.Duration(l.rng.Float64() * float64(l.cfg.Jitter))
+		}
+		if l.deliver == nil {
+			l.stats.Delivered++
+			return
+		}
+		l.eng.At(arrival, func() {
+			l.stats.Delivered++
+			l.deliver(payload, arrival)
+		})
+	})
+	return true
+}
+
+// Backlog returns how long the link will stay busy serializing already
+// accepted packets, a readiness tiebreaker for schedulers that prefer the
+// least-loaded channels.
+func (l *Link) Backlog() time.Duration {
+	if b := l.busyUntil - l.eng.Now(); b > 0 {
+		return b
+	}
+	return 0
+}

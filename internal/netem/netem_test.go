@@ -1,0 +1,307 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(3*time.Second, func() { order = append(order, 3) })
+	eng.Schedule(1*time.Second, func() { order = append(order, 1) })
+	eng.Schedule(2*time.Second, func() { order = append(order, 2) })
+	eng.Run(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("event order = %v, want [1 2 3]", order)
+	}
+	if eng.Now() != 10*time.Second {
+		t.Errorf("clock = %v, want 10s", eng.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	eng.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEngineHorizonStopsEvents(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	eng.Schedule(5*time.Second, func() { ran = true })
+	eng.Run(4 * time.Second)
+	if ran {
+		t.Error("event past horizon ran")
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", eng.Pending())
+	}
+	eng.Run(5 * time.Second)
+	if !ran {
+		t.Error("event at horizon did not run")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var times []time.Duration
+	eng.Schedule(time.Second, func() {
+		times = append(times, eng.Now())
+		eng.Schedule(time.Second, func() {
+			times = append(times, eng.Now())
+		})
+	})
+	eng.Run(5 * time.Second)
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("nested event times = %v", times)
+	}
+}
+
+func TestEngineRunUntilIdle(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	eng.Schedule(time.Hour, func() { count++ })
+	eng.Schedule(2*time.Hour, func() { count++ })
+	eng.RunUntilIdle()
+	if count != 2 {
+		t.Errorf("ran %d events, want 2", count)
+	}
+	if eng.Now() != 2*time.Hour {
+		t.Errorf("clock = %v, want 2h", eng.Now())
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(time.Second, func() {})
+	eng.Run(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	eng.At(0, func() {})
+}
+
+func TestLinkSerializationRate(t *testing.T) {
+	eng := NewEngine()
+	var arrivals []time.Duration
+	link, err := NewLink(eng, LinkConfig{Rate: 10}, rand.New(rand.NewSource(1)),
+		func(_ []byte, at time.Duration) { arrivals = append(arrivals, at) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two packets sent back to back at 10 pkt/s serialize at 100ms, 200ms.
+	link.Send([]byte{1})
+	link.Send([]byte{2})
+	eng.Run(time.Second)
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(arrivals))
+	}
+	if arrivals[0] != 100*time.Millisecond || arrivals[1] != 200*time.Millisecond {
+		t.Errorf("arrivals = %v, want [100ms 200ms]", arrivals)
+	}
+}
+
+func TestLinkDelay(t *testing.T) {
+	eng := NewEngine()
+	var arrival time.Duration
+	link, err := NewLink(eng, LinkConfig{Rate: 1000, Delay: 50 * time.Millisecond},
+		rand.New(rand.NewSource(1)),
+		func(_ []byte, at time.Duration) { arrival = at })
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Send([]byte{1})
+	eng.Run(time.Second)
+	if want := time.Millisecond + 50*time.Millisecond; arrival != want {
+		t.Errorf("arrival = %v, want %v", arrival, want)
+	}
+}
+
+func TestLinkQueueLimitAndWritability(t *testing.T) {
+	eng := NewEngine()
+	link, err := NewLink(eng, LinkConfig{Rate: 1, QueueLimit: 2}, rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !link.Writable() {
+		t.Error("fresh link not writable")
+	}
+	if !link.Send([]byte{1}) || !link.Send([]byte{2}) {
+		t.Fatal("sends within queue limit rejected")
+	}
+	if link.Writable() {
+		t.Error("full link still writable")
+	}
+	if link.Send([]byte{3}) {
+		t.Error("send into full queue accepted")
+	}
+	if got := link.Stats().Dropped; got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+	// After one serialization (1s), one slot frees.
+	eng.Run(time.Second)
+	if !link.Writable() {
+		t.Error("link not writable after drain")
+	}
+	if got := link.QueueLen(); got != 1 {
+		t.Errorf("queue length = %d, want 1", got)
+	}
+}
+
+func TestLinkLossRate(t *testing.T) {
+	eng := NewEngine()
+	delivered := 0
+	link, err := NewLink(eng, LinkConfig{Rate: 1e6, Loss: 0.3, QueueLimit: 1 << 20},
+		rand.New(rand.NewSource(42)),
+		func(_ []byte, _ time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = 20000
+	for i := 0; i < sent; i++ {
+		if !link.Send(nil) {
+			t.Fatal("send rejected")
+		}
+	}
+	eng.RunUntilIdle()
+	got := 1 - float64(delivered)/sent
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("observed loss %v, want ~0.3", got)
+	}
+	st := link.Stats()
+	if st.Lost+st.Delivered != sent {
+		t.Errorf("lost %d + delivered %d != sent %d", st.Lost, st.Delivered, sent)
+	}
+}
+
+func TestLinkThroughputMatchesRate(t *testing.T) {
+	// Offered load above capacity: delivered rate equals the configured
+	// rate (the htb behavior the rate experiments rely on).
+	eng := NewEngine()
+	delivered := 0
+	link, err := NewLink(eng, LinkConfig{Rate: 100, QueueLimit: 4}, rand.New(rand.NewSource(7)),
+		func(_ []byte, _ time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer 200 pkt/s for 10 virtual seconds; retry when unwritable.
+	interval := 5 * time.Millisecond
+	var offer func()
+	offer = func() {
+		link.Send(nil)
+		if eng.Now() < 10*time.Second {
+			eng.Schedule(interval, offer)
+		}
+	}
+	eng.Schedule(0, offer)
+	eng.Run(10 * time.Second)
+	eng.RunUntilIdle()
+	rate := float64(delivered) / 10
+	if math.Abs(rate-100) > 2 {
+		t.Errorf("delivered rate %v pkt/s, want ~100", rate)
+	}
+}
+
+func TestLinkBacklog(t *testing.T) {
+	eng := NewEngine()
+	link, err := NewLink(eng, LinkConfig{Rate: 2, QueueLimit: 10}, rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Backlog() != 0 {
+		t.Errorf("idle backlog = %v, want 0", link.Backlog())
+	}
+	link.Send(nil) // 500ms serialization
+	link.Send(nil)
+	if got := link.Backlog(); got != time.Second {
+		t.Errorf("backlog = %v, want 1s", got)
+	}
+}
+
+func TestLinkConfigValidation(t *testing.T) {
+	eng := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	cases := []LinkConfig{
+		{Rate: 0},
+		{Rate: -5},
+		{Rate: 1, Loss: 1},
+		{Rate: 1, Loss: -0.1},
+		{Rate: 1, Delay: -time.Second},
+		{Rate: 1, QueueLimit: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := NewLink(eng, cfg, rng, nil); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewLink(eng, LinkConfig{Rate: 1}, nil, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	// Default queue limit applied.
+	link, err := NewLink(eng, LinkConfig{Rate: 1}, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := link.Config().QueueLimit; got != DefaultQueueLimit {
+		t.Errorf("default queue limit = %d, want %d", got, DefaultQueueLimit)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int64, int64) {
+		eng := NewEngine()
+		link, err := NewLink(eng, LinkConfig{Rate: 1000, Loss: 0.1, QueueLimit: 100},
+			rand.New(rand.NewSource(5)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var send func()
+		send = func() {
+			link.Send(nil)
+			if eng.Now() < 5*time.Second {
+				eng.Schedule(time.Millisecond, send)
+			}
+		}
+		eng.Schedule(0, send)
+		eng.Run(5 * time.Second)
+		eng.RunUntilIdle()
+		st := link.Stats()
+		return st.Delivered, st.Lost
+	}
+	d1, l1 := run()
+	d2, l2 := run()
+	if d1 != d2 || l1 != l2 {
+		t.Errorf("replay diverged: (%d, %d) vs (%d, %d)", d1, l1, d2, l2)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	eng := NewEngine()
+	link, err := NewLink(eng, LinkConfig{Rate: 1e6, QueueLimit: 1 << 20},
+		rand.New(rand.NewSource(1)), func(_ []byte, _ time.Duration) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Send(nil)
+		if i%1024 == 0 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+}

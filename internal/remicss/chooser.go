@@ -1,0 +1,161 @@
+package remicss
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"remicss/internal/core"
+	"remicss/internal/schedule"
+)
+
+// Chooser decides, per source symbol, the threshold k and the subset of
+// channels (as a bitmask over links) to carry its shares.
+type Chooser interface {
+	// Choose inspects the links and returns the threshold and channel mask
+	// for the next symbol. ok is false if the choice cannot currently be
+	// satisfied (e.g. not enough writable channels); the symbol is then
+	// dropped or retried by the caller.
+	Choose(links []Link) (k int, mask uint32, ok bool)
+}
+
+// DynamicChooser is the paper's dynamic share schedule: rather than
+// computing an explicit distribution over (k, M), it picks the first m
+// channels that are ready for writing. m and k are dithered between ⌊μ⌋/⌈μ⌉
+// and ⌊κ⌋/⌈κ⌉ with a shared uniform draw, which yields exact averages μ and
+// κ while guaranteeing k <= m for every symbol.
+//
+// Ready channels are taken in ascending order of transmit backlog
+// (water-filling over queue space). On a real host, epoll readiness plus
+// scheduling jitter spreads shares across channels the same way; in the
+// deterministic simulator, taking ready channels in fixed index order
+// instead locks identical channels into synchronized drain bursts and
+// wastes capacity — the IndexOrder option exists to measure exactly that
+// effect.
+type DynamicChooser struct {
+	kappa, mu float64
+	rng       *rand.Rand
+	// indexOrder reverts to fixed index-order channel selection (ablation).
+	indexOrder bool
+	// pending holds a (k, m) draw that could not be satisfied yet. The
+	// reference protocol blocks until m channels are ready rather than
+	// skipping the symbol, so the draw must survive failed attempts —
+	// redrawing on every attempt would bias the realized μ downward (large
+	// m draws stall more often and would be resampled away).
+	pendingValid bool
+	pendingK     int
+	pendingM     int
+}
+
+// DynamicOption configures a DynamicChooser.
+type DynamicOption func(*DynamicChooser)
+
+// IndexOrder makes the chooser take ready channels in fixed index order
+// instead of least-backlog order. This is the naive reading of "first m
+// ready channels" and is measurably worse under deterministic timing; it
+// exists as an ablation.
+func IndexOrder() DynamicOption {
+	return func(c *DynamicChooser) { c.indexOrder = true }
+}
+
+// NewDynamicChooser builds a dynamic chooser for targets 1 <= kappa <= mu.
+// The rng must not be nil.
+func NewDynamicChooser(kappa, mu float64, rng *rand.Rand, opts ...DynamicOption) (*DynamicChooser, error) {
+	if math.IsNaN(kappa) || math.IsNaN(mu) || kappa < 1 || mu < kappa {
+		return nil, fmt.Errorf("%w: kappa=%v, mu=%v", core.ErrInvalidParams, kappa, mu)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("remicss: nil rng")
+	}
+	c := &DynamicChooser{kappa: kappa, mu: mu, rng: rng}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Choose implements Chooser.
+func (c *DynamicChooser) Choose(links []Link) (int, uint32, bool) {
+	if !c.pendingValid {
+		// Comonotone dither: the same uniform drives both roundings, so
+		// kappa <= mu implies k <= m symbol by symbol.
+		u := c.rng.Float64()
+		m := int(math.Floor(c.mu))
+		if u < c.mu-math.Floor(c.mu) {
+			m++
+		}
+		k := int(math.Floor(c.kappa))
+		if u < c.kappa-math.Floor(c.kappa) {
+			k++
+		}
+		c.pendingK, c.pendingM, c.pendingValid = k, m, true
+	}
+	k, m := c.pendingK, c.pendingM
+	if m > len(links) {
+		return 0, 0, false
+	}
+
+	ready := make([]int, 0, len(links))
+	for i, l := range links {
+		if l.Writable() {
+			ready = append(ready, i)
+		}
+	}
+	if len(ready) < m {
+		return 0, 0, false
+	}
+	if !c.indexOrder {
+		sort.SliceStable(ready, func(a, b int) bool {
+			return links[ready[a]].Backlog() < links[ready[b]].Backlog()
+		})
+	}
+	var mask uint32
+	for _, i := range ready[:m] {
+		mask |= 1 << uint(i)
+	}
+	c.pendingValid = false
+	return k, mask, true
+}
+
+// StaticChooser draws (k, M) i.i.d. from an explicit share schedule, such
+// as an LP optimum from internal/schedule. It does not consult writability:
+// if a chosen channel's queue is full the share is simply dropped by the
+// link, exactly the best-effort semantics of the reference protocol.
+type StaticChooser struct {
+	sampler *schedule.Sampler
+}
+
+// NewStaticChooser builds a chooser sampling from sched over n channels.
+func NewStaticChooser(sched core.Schedule, n int, rng *rand.Rand) (*StaticChooser, error) {
+	sampler, err := schedule.NewSampler(sched, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &StaticChooser{sampler: sampler}, nil
+}
+
+// Choose implements Chooser.
+func (c *StaticChooser) Choose(links []Link) (int, uint32, bool) {
+	a := c.sampler.Next()
+	if int(a.Mask) >= 1<<uint(len(links)) {
+		return 0, 0, false
+	}
+	return a.K, a.Mask, true
+}
+
+// FixedChooser always returns the same assignment; useful for tests and for
+// MICSS-style operation (k = m = n on all channels).
+type FixedChooser struct {
+	// K and Mask define the constant assignment.
+	K    int
+	Mask uint32
+}
+
+// Choose implements Chooser.
+func (c FixedChooser) Choose(links []Link) (int, uint32, bool) {
+	if c.Mask == 0 || int(c.Mask) >= 1<<uint(len(links)) || c.K < 1 {
+		return 0, 0, false
+	}
+	return c.K, c.Mask, true
+}

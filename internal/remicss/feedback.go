@@ -1,0 +1,77 @@
+package remicss
+
+import (
+	"remicss/internal/wire"
+)
+
+// Feedback support: the receiver periodically summarizes its delivery
+// counters into report datagrams (wire.ReportPacket); the sender folds them
+// into recent-loss estimates that drive an adaptive controller
+// (internal/adapt).
+
+// MakeReport builds the next feedback report: a delta of the delivery
+// counters since the previous MakeReport call. Send the returned datagram
+// back to the sender over any channel.
+func (r *Receiver) MakeReport() []byte {
+	st := r.stats
+	rep := wire.ReportPacket{
+		Epoch:     r.reportEpoch,
+		Delivered: uint64(st.SymbolsDelivered - r.lastReport.SymbolsDelivered),
+		Evicted:   uint64(st.SymbolsEvicted - r.lastReport.SymbolsEvicted),
+		Pending:   uint32(r.Pending()),
+	}
+	r.reportEpoch++
+	r.lastReport = st
+	return wire.MarshalReport(rep)
+}
+
+// FeedbackState accumulates reports on the sending side. Zero value is
+// ready to use.
+type FeedbackState struct {
+	lastEpoch   uint64
+	primedEpoch bool
+
+	delivered uint64
+	evicted   uint64
+	reports   int64
+}
+
+// Ingest parses a report datagram. Non-report datagrams and stale epochs
+// (replays or reordered feedback) are ignored and reported via the return
+// value so callers can keep counters.
+func (f *FeedbackState) Ingest(datagram []byte) bool {
+	rep, err := wire.UnmarshalReport(datagram)
+	if err != nil {
+		return false
+	}
+	if f.primedEpoch && rep.Epoch <= f.lastEpoch {
+		return false // duplicate or out-of-order report
+	}
+	f.lastEpoch = rep.Epoch
+	f.primedEpoch = true
+	f.delivered += rep.Delivered
+	f.evicted += rep.Evicted
+	f.reports++
+	return true
+}
+
+// Reports returns how many valid reports were ingested.
+func (f *FeedbackState) Reports() int64 { return f.reports }
+
+// LossSince computes the symbol loss fraction over a window: the caller
+// supplies how many symbols it sent during the window and the counters
+// accumulated from reports are consumed (reset). Returns 0 when nothing was
+// sent.
+func (f *FeedbackState) LossSince(symbolsSent int64) float64 {
+	delivered := f.delivered
+	f.delivered = 0
+	f.evicted = 0
+	if symbolsSent <= 0 {
+		return 0
+	}
+	lost := float64(symbolsSent) - float64(delivered)
+	if lost < 0 {
+		lost = 0
+	}
+	return lost / float64(symbolsSent)
+}

@@ -1,0 +1,221 @@
+package remicss
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"remicss/internal/sharing"
+	"remicss/internal/wire"
+)
+
+// Default reassembly parameters. The timeout mirrors IP fragment reassembly
+// (generous relative to channel delays); the pending cap bounds memory.
+const (
+	DefaultReassemblyTimeout = 2 * time.Second
+	DefaultMaxPending        = 4096
+)
+
+// ReceiverStats counts receiver-side activity.
+type ReceiverStats struct {
+	// SharesReceived counts structurally valid shares accepted into
+	// reassembly.
+	SharesReceived int64
+	// SharesInvalid counts datagrams rejected by wire parsing or with
+	// parameters inconsistent with the symbol's first share.
+	SharesInvalid int64
+	// SharesDuplicate counts shares for an index already held.
+	SharesDuplicate int64
+	// SharesLate counts shares for symbols already delivered or evicted.
+	SharesLate int64
+	// SymbolsDelivered counts symbols reconstructed and handed to the
+	// callback.
+	SymbolsDelivered int64
+	// SymbolsEvicted counts incomplete symbols dropped by timeout or
+	// memory pressure.
+	SymbolsEvicted int64
+	// CombineFailures counts reconstruction errors (corrupt share data
+	// that passed the checksum, or scheme mismatch).
+	CombineFailures int64
+}
+
+// ReceiverConfig configures a Receiver. Scheme, Clock, and OnSymbol are
+// required.
+type ReceiverConfig struct {
+	// Scheme reconstructs symbols from shares; must match the sender's.
+	Scheme sharing.Scheme
+	// Clock supplies arrival timestamps on the same timeline as the
+	// sender's clock.
+	Clock func() time.Duration
+	// OnSymbol is invoked for every reconstructed symbol with its one-way
+	// delay (reconstruction time minus the sender's timestamp).
+	OnSymbol func(seq uint64, payload []byte, delay time.Duration)
+	// Timeout evicts partial symbols idle longer than this. Defaults to
+	// DefaultReassemblyTimeout.
+	Timeout time.Duration
+	// MaxPending bounds the number of symbols (complete or partial) held.
+	// Oldest entries are evicted first. Defaults to DefaultMaxPending.
+	MaxPending int
+}
+
+// Receiver is the receiving half of the protocol: a reassembly buffer over
+// incoming share datagrams. Not safe for concurrent use.
+type Receiver struct {
+	cfg   ReceiverConfig
+	stats ReceiverStats
+
+	// pending maps seq -> reassembly entry; order tracks insertion order
+	// for timeout scans and memory-pressure eviction (oldest first).
+	pending map[uint64]*list.Element
+	order   *list.List
+
+	// Feedback report state (see feedback.go).
+	reportEpoch uint64
+	lastReport  ReceiverStats
+}
+
+// entry is one symbol being reassembled. A delivered symbol keeps a
+// tombstone entry (shares nil, done true) until eviction so that late
+// duplicate shares are classified correctly.
+type entry struct {
+	seq     uint64
+	k, m    int
+	sentAt  int64
+	arrived time.Duration // first-share arrival, for timeout eviction
+	shares  []sharing.Share
+	haveIdx uint32 // bitmask of share indices held
+	done    bool
+}
+
+// NewReceiver builds a receiver.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("remicss: nil scheme")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("remicss: nil clock")
+	}
+	if cfg.OnSymbol == nil {
+		return nil, fmt.Errorf("remicss: nil symbol callback")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultReassemblyTimeout
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	return &Receiver{
+		cfg:     cfg,
+		pending: make(map[uint64]*list.Element),
+		order:   list.New(),
+	}, nil
+}
+
+// Stats returns a snapshot of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Pending returns the number of reassembly entries held (including
+// delivered tombstones awaiting timeout).
+func (r *Receiver) Pending() int { return r.order.Len() }
+
+// HandleDatagram processes one received share datagram.
+func (r *Receiver) HandleDatagram(buf []byte) {
+	now := r.cfg.Clock()
+	r.evictExpired(now)
+
+	pkt, err := wire.Unmarshal(buf)
+	if err != nil {
+		r.stats.SharesInvalid++
+		return
+	}
+
+	elem, exists := r.pending[pkt.Seq]
+	if !exists {
+		r.admit()
+		e := &entry{
+			seq:     pkt.Seq,
+			k:       int(pkt.K),
+			m:       int(pkt.M),
+			sentAt:  pkt.SentAt,
+			arrived: now,
+		}
+		elem = r.order.PushBack(e)
+		r.pending[pkt.Seq] = elem
+	}
+	e := elem.Value.(*entry)
+
+	if e.done {
+		r.stats.SharesLate++
+		return
+	}
+	if int(pkt.K) != e.k || int(pkt.M) != e.m {
+		// Shares of one symbol must agree on parameters; the first share
+		// seen wins and inconsistent ones are discarded.
+		r.stats.SharesInvalid++
+		return
+	}
+	if e.haveIdx&(1<<uint(pkt.Index)) != 0 {
+		r.stats.SharesDuplicate++
+		return
+	}
+	e.haveIdx |= 1 << uint(pkt.Index)
+	data := make([]byte, len(pkt.Payload))
+	copy(data, pkt.Payload)
+	e.shares = append(e.shares, sharing.Share{Index: int(pkt.Index), Data: data})
+	r.stats.SharesReceived++
+
+	if len(e.shares) < e.k {
+		return
+	}
+	secret, err := r.cfg.Scheme.Combine(e.shares, e.k, e.m)
+	if err != nil {
+		r.stats.CombineFailures++
+		// Leave the entry; a later consistent share set cannot form since
+		// indices are unique, so mark done to stop retrying.
+		e.done = true
+		e.shares = nil
+		return
+	}
+	e.done = true
+	e.shares = nil
+	r.stats.SymbolsDelivered++
+	r.cfg.OnSymbol(e.seq, secret, now-time.Duration(e.sentAt))
+}
+
+// Tick performs timeout eviction; call it periodically when no datagrams
+// are arriving so stale entries do not linger.
+func (r *Receiver) Tick() {
+	r.evictExpired(r.cfg.Clock())
+}
+
+// evictExpired drops entries older than the timeout (oldest first).
+func (r *Receiver) evictExpired(now time.Duration) {
+	for {
+		front := r.order.Front()
+		if front == nil {
+			return
+		}
+		e := front.Value.(*entry)
+		if now-e.arrived < r.cfg.Timeout {
+			return
+		}
+		r.drop(front, e)
+	}
+}
+
+// admit makes room for a new entry under the memory cap.
+func (r *Receiver) admit() {
+	for r.order.Len() >= r.cfg.MaxPending {
+		front := r.order.Front()
+		e := front.Value.(*entry)
+		r.drop(front, e)
+	}
+}
+
+func (r *Receiver) drop(elem *list.Element, e *entry) {
+	r.order.Remove(elem)
+	delete(r.pending, e.seq)
+	if !e.done {
+		r.stats.SymbolsEvicted++
+	}
+}

@@ -1,0 +1,54 @@
+// Package remicss implements the paper's reference protocol (Section V): a
+// best-effort multichannel secret sharing transport.
+//
+// For every source symbol (one datagram payload), the sender chooses a
+// threshold k and a channel subset M, splits the symbol into |M| shares
+// with a threshold scheme, and transmits one share per channel in M. The
+// receiver reassembles symbols as shares arrive, delivering each symbol as
+// soon as any k of its shares are in hand, and evicts stale partial symbols
+// after a timeout or under memory pressure — the IP-fragment-reassembly
+// strategy the paper describes.
+//
+// Two channel-selection strategies are provided, matching the paper's
+// discussion:
+//
+//   - DynamicChooser implements the paper's dynamic share schedule: pick the
+//     first m channels that are ready for writing (the epoll trick), with m
+//     and k dithered around the real-valued targets μ and κ.
+//   - StaticChooser samples (k, M) i.i.d. from an explicit share schedule,
+//     such as the LP optima of internal/schedule.
+//
+// The package is transport-agnostic: anything satisfying Link works, both
+// the virtual-time emulator (internal/netem) and real UDP sockets
+// (internal/udptrans).
+package remicss
+
+import (
+	"errors"
+	"time"
+)
+
+// Link is one unidirectional channel from sender to receiver. It is
+// implemented by netem.Link (simulation) and udptrans.Link (real UDP).
+type Link interface {
+	// Send enqueues one datagram, returning false if the channel cannot
+	// accept it right now (transmit queue full).
+	Send(datagram []byte) bool
+	// Writable reports whether Send would currently accept a datagram; this
+	// is the protocol's epoll readiness signal.
+	Writable() bool
+	// Backlog estimates how long the channel will remain busy with already
+	// accepted datagrams; schedulers may use it as a readiness tiebreaker.
+	Backlog() time.Duration
+}
+
+// Protocol errors.
+var (
+	// ErrBackpressure means too few channels were ready to carry the
+	// symbol's shares; the symbol was not sent.
+	ErrBackpressure = errors.New("remicss: not enough writable channels")
+	// ErrNoLinks means the sender was constructed without channels.
+	ErrNoLinks = errors.New("remicss: no links")
+	// ErrClosed means the component has been closed.
+	ErrClosed = errors.New("remicss: closed")
+)

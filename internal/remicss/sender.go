@@ -1,0 +1,121 @@
+package remicss
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"remicss/internal/sharing"
+	"remicss/internal/wire"
+)
+
+// SenderStats counts sender-side activity.
+type SenderStats struct {
+	// SymbolsSent counts symbols whose shares were handed to the links.
+	SymbolsSent int64
+	// SymbolsStalled counts symbols dropped because the chooser could not
+	// find enough ready channels (sender-side backpressure).
+	SymbolsStalled int64
+	// SharesSent counts shares accepted by links.
+	SharesSent int64
+	// SharesDropped counts shares rejected by a full link queue.
+	SharesDropped int64
+}
+
+// SenderConfig configures a Sender. Scheme, Chooser, and Clock are
+// required.
+type SenderConfig struct {
+	// Scheme splits symbols into shares.
+	Scheme sharing.Scheme
+	// Chooser picks (k, M) per symbol.
+	Chooser Chooser
+	// Clock supplies send timestamps; in simulation this is the virtual
+	// clock, over UDP it is wall time since an epoch shared with the
+	// receiver.
+	Clock func() time.Duration
+}
+
+// Sender is the sending half of the protocol. It is not safe for concurrent
+// use; callers serialize Send (the simulator is single-threaded, and the
+// UDP transport wraps it in its own goroutine).
+type Sender struct {
+	cfg   SenderConfig
+	links []Link
+	seq   uint64
+	stats SenderStats
+}
+
+// NewSender builds a sender over the given links.
+func NewSender(cfg SenderConfig, links []Link) (*Sender, error) {
+	if len(links) == 0 {
+		return nil, ErrNoLinks
+	}
+	if len(links) > 32 {
+		return nil, fmt.Errorf("remicss: %d links exceeds the 32-channel mask limit", len(links))
+	}
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("remicss: nil scheme")
+	}
+	if cfg.Chooser == nil {
+		return nil, fmt.Errorf("remicss: nil chooser")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("remicss: nil clock")
+	}
+	return &Sender{cfg: cfg, links: links}, nil
+}
+
+// Stats returns a snapshot of the sender counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Send transmits one source symbol. It returns ErrBackpressure if no
+// channel subset is currently available (the symbol is not queued anywhere;
+// best-effort semantics), or a split/encoding error.
+func (s *Sender) Send(payload []byte) error {
+	k, mask, ok := s.cfg.Chooser.Choose(s.links)
+	if !ok {
+		s.stats.SymbolsStalled++
+		return ErrBackpressure
+	}
+	m := bits.OnesCount32(mask)
+
+	shares, err := s.cfg.Scheme.Split(payload, k, m)
+	if err != nil {
+		return fmt.Errorf("remicss: splitting symbol: %w", err)
+	}
+
+	seq := s.seq
+	s.seq++
+	now := s.cfg.Clock()
+
+	shareIdx := 0
+	for i := 0; i < len(s.links); i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		pkt := wire.SharePacket{
+			Seq:     seq,
+			K:       uint8(k),
+			M:       uint8(m),
+			Index:   uint8(shares[shareIdx].Index),
+			SentAt:  int64(now),
+			Payload: shares[shareIdx].Data,
+		}
+		buf, err := wire.Marshal(pkt)
+		if err != nil {
+			return fmt.Errorf("remicss: encoding share: %w", err)
+		}
+		if s.links[i].Send(buf) {
+			s.stats.SharesSent++
+		} else {
+			s.stats.SharesDropped++
+		}
+		shareIdx++
+	}
+	s.stats.SymbolsSent++
+	return nil
+}
+
+// Seq returns the next sequence number to be assigned (i.e. the number of
+// symbols sent so far, including stalled attempts are excluded).
+func (s *Sender) Seq() uint64 { return s.seq }

@@ -1,0 +1,145 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+)
+
+// Viterbi returns the most likely hidden state trajectory for the
+// observation sequence: when did the channel most plausibly become
+// compromised? Useful for forensics after an incident, complementing
+// Filter's real-time posterior.
+func (m Model) Viterbi(obs []int) ([]int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(obs) == 0 {
+		return nil, nil
+	}
+	alphabet := len(m.Emission[0])
+	// Work in log space to avoid underflow on long sequences.
+	logProb := func(p float64) float64 {
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log(p)
+	}
+
+	type cell struct {
+		score float64
+		from  int
+	}
+	prev := [numStates]cell{}
+	for s := 0; s < numStates; s++ {
+		if obs[0] < 0 || obs[0] >= alphabet {
+			return nil, fmt.Errorf("%w: obs[0] = %d", ErrBadObservation, obs[0])
+		}
+		prev[s] = cell{score: logProb(m.Initial[s]) + logProb(m.Emission[s][obs[0]]), from: -1}
+	}
+	back := make([][numStates]int, len(obs))
+	for t := 1; t < len(obs); t++ {
+		o := obs[t]
+		if o < 0 || o >= alphabet {
+			return nil, fmt.Errorf("%w: obs[%d] = %d", ErrBadObservation, t, o)
+		}
+		var cur [numStates]cell
+		for s := 0; s < numStates; s++ {
+			best := math.Inf(-1)
+			bestFrom := 0
+			for p := 0; p < numStates; p++ {
+				score := prev[p].score + logProb(m.Transition[p][s])
+				if score > best {
+					best = score
+					bestFrom = p
+				}
+			}
+			cur[s] = cell{score: best + logProb(m.Emission[s][o]), from: bestFrom}
+			back[t][s] = bestFrom
+		}
+		prev = cur
+	}
+
+	// Trace back from the best final state.
+	states := make([]int, len(obs))
+	if prev[StateCompromised].score > prev[StateSafe].score {
+		states[len(obs)-1] = StateCompromised
+	}
+	for t := len(obs) - 1; t > 0; t-- {
+		states[t-1] = back[t][states[t]]
+	}
+	return states, nil
+}
+
+// Smooth runs the forward-backward algorithm: the posterior compromise
+// probability at each step given the *entire* observation sequence
+// (offline smoothing), which is sharper than Filter's causal estimates.
+func (m Model) Smooth(obs []int) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(obs) == 0 {
+		return nil, nil
+	}
+	alphabet := len(m.Emission[0])
+	T := len(obs)
+	for t, o := range obs {
+		if o < 0 || o >= alphabet {
+			return nil, fmt.Errorf("%w: obs[%d] = %d", ErrBadObservation, t, o)
+		}
+	}
+
+	// Forward pass with per-step normalization.
+	alpha := make([][numStates]float64, T)
+	for s := 0; s < numStates; s++ {
+		alpha[0][s] = m.Initial[s] * m.Emission[s][obs[0]]
+	}
+	normalize(&alpha[0])
+	for t := 1; t < T; t++ {
+		for s := 0; s < numStates; s++ {
+			var sum float64
+			for p := 0; p < numStates; p++ {
+				sum += alpha[t-1][p] * m.Transition[p][s]
+			}
+			alpha[t][s] = sum * m.Emission[s][obs[t]]
+		}
+		normalize(&alpha[t])
+	}
+
+	// Backward pass.
+	beta := make([][numStates]float64, T)
+	beta[T-1] = [numStates]float64{1, 1}
+	for t := T - 2; t >= 0; t-- {
+		for s := 0; s < numStates; s++ {
+			var sum float64
+			for nx := 0; nx < numStates; nx++ {
+				sum += m.Transition[s][nx] * m.Emission[nx][obs[t+1]] * beta[t+1][nx]
+			}
+			beta[t][s] = sum
+		}
+		normalize(&beta[t])
+	}
+
+	out := make([]float64, T)
+	for t := 0; t < T; t++ {
+		num := alpha[t][StateCompromised] * beta[t][StateCompromised]
+		den := num + alpha[t][StateSafe]*beta[t][StateSafe]
+		if den <= 0 {
+			// Impossible observations throughout; fall back to the filtered
+			// value's neutral 0.5.
+			out[t] = 0.5
+			continue
+		}
+		out[t] = num / den
+	}
+	return out, nil
+}
+
+func normalize(v *[numStates]float64) {
+	sum := v[0] + v[1]
+	if sum <= 0 {
+		v[0], v[1] = 0.5, 0.5
+		return
+	}
+	v[0] /= sum
+	v[1] /= sum
+}

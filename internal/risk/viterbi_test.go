@@ -1,0 +1,192 @@
+package risk
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestViterbiEmpty(t *testing.T) {
+	m := DefaultModel()
+	states, err := m.Viterbi(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states != nil {
+		t.Errorf("got %v for empty observations", states)
+	}
+}
+
+func TestViterbiObviousTrajectories(t *testing.T) {
+	m := DefaultModel()
+	// Long quiet run: all safe.
+	quiet := make([]int, 50)
+	states, err := m.Viterbi(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range states {
+		if s != StateSafe {
+			t.Fatalf("quiet step %d decoded as %d", i, s)
+		}
+	}
+	// Persistent alerts: should settle into compromised.
+	alerts := make([]int, 50)
+	for i := range alerts {
+		alerts[i] = 2
+	}
+	states, err = m.Viterbi(alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := 0
+	for _, s := range states {
+		if s == StateCompromised {
+			comp++
+		}
+	}
+	if comp < 40 {
+		t.Errorf("only %d of 50 alert steps decoded compromised", comp)
+	}
+}
+
+func TestViterbiDetectsTransitionPoint(t *testing.T) {
+	m := DefaultModel()
+	// 30 quiet steps, then 30 alerts: the decoded switch should happen near
+	// step 30.
+	obs := make([]int, 60)
+	for i := 30; i < 60; i++ {
+		obs[i] = 2
+	}
+	states, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switchAt := -1
+	for i, s := range states {
+		if s == StateCompromised {
+			switchAt = i
+			break
+		}
+	}
+	if switchAt < 25 || switchAt > 35 {
+		t.Errorf("compromise decoded at step %d, want near 30", switchAt)
+	}
+	// Once compromised (persistent state), it should stay compromised.
+	for i := switchAt; i < 60; i++ {
+		if states[i] != StateCompromised {
+			t.Errorf("state flapped back to safe at %d", i)
+			break
+		}
+	}
+}
+
+func TestViterbiMatchesTruthOnSimulatedData(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(5))
+	agree, total := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		truth, obs, err := m.Simulate(200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := m.Viterbi(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth {
+			if decoded[i] == truth[i] {
+				agree++
+			}
+			total++
+		}
+	}
+	if acc := float64(agree) / float64(total); acc < 0.8 {
+		t.Errorf("Viterbi accuracy %.3f, want >= 0.8 on model-generated data", acc)
+	}
+}
+
+func TestViterbiValidation(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.Viterbi([]int{9}); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("got %v, want ErrBadObservation", err)
+	}
+	bad := m
+	bad.Initial = [2]float64{0.2, 0.2}
+	if _, err := bad.Viterbi([]int{0}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("got %v, want ErrBadModel", err)
+	}
+}
+
+func TestSmoothSharperThanFilter(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(6))
+	var filterErr, smoothErr float64
+	n := 0
+	for trial := 0; trial < 30; trial++ {
+		truth, obs, err := m.Simulate(200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered, err := m.Filter(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smoothed, err := m.Smooth(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth {
+			target := 0.0
+			if truth[i] == StateCompromised {
+				target = 1
+			}
+			filterErr += (filtered[i] - target) * (filtered[i] - target)
+			smoothErr += (smoothed[i] - target) * (smoothed[i] - target)
+			n++
+		}
+	}
+	if smoothErr >= filterErr {
+		t.Errorf("smoothing MSE %.4f not better than filtering MSE %.4f",
+			smoothErr/float64(n), filterErr/float64(n))
+	}
+}
+
+func TestSmoothBounds(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(7))
+	_, obs, err := m.Simulate(300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := m.Smooth(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2, p := range post {
+		if p < 0 || p > 1 {
+			t.Fatalf("smoothed[%d] = %v", t2, p)
+		}
+	}
+	// Empty input.
+	if out, err := m.Smooth(nil); err != nil || out != nil {
+		t.Errorf("Smooth(nil) = (%v, %v)", out, err)
+	}
+	if _, err := m.Smooth([]int{5}); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("got %v, want ErrBadObservation", err)
+	}
+}
+
+func BenchmarkViterbi1000(b *testing.B) {
+	m := DefaultModel()
+	_, obs, err := m.Simulate(1000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Viterbi(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

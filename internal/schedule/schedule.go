@@ -1,0 +1,346 @@
+// Package schedule constructs share schedules: the categorical
+// distributions p(k, M) that drive a multichannel secret sharing protocol.
+//
+// It implements the two linear programs of the paper:
+//
+//   - Optimize (Section IV-B): minimize schedule risk, loss, or delay
+//     subject to the average threshold κ and multiplicity μ.
+//   - OptimizeAtMaxRate (Section IV-D): the same minimization with the
+//     per-channel utilization constraints that guarantee the schedule can
+//     transmit at the optimal multichannel rate R_C of Theorem 4.
+//
+// Both accept the Section IV-E "limited" restriction (k >= ⌊κ⌋ and
+// |M| >= ⌊μ⌋), which adapts the model to the MICSS/courier threat model in
+// which the adversary always controls a fixed set of channels.
+//
+// The package also provides a Sampler that draws i.i.d. assignments from a
+// schedule, and Pack, the Figure-2 water-filling packer that converts
+// per-channel share budgets into an explicit symbol-by-symbol sequence of
+// channel subsets.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"remicss/internal/core"
+	"remicss/internal/lp"
+)
+
+// Objective selects which schedule property the linear program minimizes.
+type Objective int
+
+// Objectives, matching Z(p), L(p), and D(p) from the paper.
+const (
+	ObjectiveRisk Objective = iota + 1
+	ObjectiveLoss
+	ObjectiveDelay
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveRisk:
+		return "risk"
+	case ObjectiveLoss:
+		return "loss"
+	case ObjectiveDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Options modifies schedule construction.
+type Options struct {
+	// Limited restricts the choice set to M' (Section IV-E): k >= ⌊κ⌋ and
+	// |M| >= ⌊μ⌋, so that a threat model with a fixed set of compromised
+	// channels sees at least ⌊κ⌋ shares required for every symbol.
+	Limited bool
+}
+
+// ErrInfeasible means no share schedule satisfies the requested parameters.
+var ErrInfeasible = errors.New("schedule: no feasible share schedule")
+
+// probabilityFloor drops LP solution entries below this mass; they are
+// floating-point residue, not meaningful schedule entries.
+const probabilityFloor = 1e-9
+
+// Optimize solves the Section IV-B linear program: find the share schedule
+// minimizing the chosen objective with average threshold kappa and average
+// multiplicity mu over the set.
+func Optimize(s core.Set, kappa, mu float64, obj Objective, opts Options) (core.Schedule, error) {
+	sol, assignments, err := solveSectionIVB(s, kappa, mu, obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	return solutionToSchedule(sol, assignments, s.N())
+}
+
+// Sensitivity reports the shadow prices of the parameter constraints of the
+// Section IV-B program at its optimum: the marginal change of the optimal
+// objective per unit increase of κ and of μ. For the risk objective,
+// dKappa is the (negative) "price of privacy" — how much schedule risk one
+// more unit of average threshold buys.
+func Sensitivity(s core.Set, kappa, mu float64, obj Objective, opts Options) (dKappa, dMu float64, err error) {
+	sol, _, err := solveSectionIVB(s, kappa, mu, obj, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Constraint order: Σp=1, κ, μ.
+	return sol.Duals[1], sol.Duals[2], nil
+}
+
+// solveSectionIVB builds and solves the Section IV-B program.
+func solveSectionIVB(s core.Set, kappa, mu float64, obj Objective, opts Options) (lp.Solution, []core.Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return lp.Solution{}, nil, err
+	}
+	if err := s.CheckParams(kappa, mu); err != nil {
+		return lp.Solution{}, nil, err
+	}
+	assignments := enumerate(s.N(), kappa, mu, opts)
+	if len(assignments) == 0 {
+		return lp.Solution{}, nil, fmt.Errorf("%w: empty choice set", ErrInfeasible)
+	}
+
+	nv := len(assignments)
+	prob := lp.Problem{
+		C: objectiveCoefficients(s, assignments, obj),
+		A: make([][]float64, 0, 3),
+		B: make([]float64, 0, 3),
+	}
+	// Σ p = 1.
+	ones := make([]float64, nv)
+	for j := range ones {
+		ones[j] = 1
+	}
+	prob.A, prob.B = append(prob.A, ones), append(prob.B, 1)
+	// Σ p·k = κ.
+	ks := make([]float64, nv)
+	for j, a := range assignments {
+		ks[j] = float64(a.K)
+	}
+	prob.A, prob.B = append(prob.A, ks), append(prob.B, kappa)
+	// Σ p·|M| = μ.
+	ms := make([]float64, nv)
+	for j, a := range assignments {
+		ms[j] = float64(a.M())
+	}
+	prob.A, prob.B = append(prob.A, ms), append(prob.B, mu)
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return lp.Solution{}, nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return lp.Solution{}, nil, fmt.Errorf("schedule: %w", err)
+	}
+	return sol, assignments, nil
+}
+
+// OptimizeAtMaxRate solves the Section IV-D linear program: minimize the
+// chosen objective subject to κ and to the per-channel utilization
+// constraints Σ_{(k,M): i∈M} p(k,M) = min{r_i/R_C, 1}, which force the
+// schedule to be capable of the optimal rate R_C for μ. The μ constraint is
+// implied by the utilization constraints (their sum is μ by Theorem 3), as
+// in the paper's program.
+func OptimizeAtMaxRate(s core.Set, kappa, mu float64, obj Objective, opts Options) (core.Schedule, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.CheckParams(kappa, mu); err != nil {
+		return nil, err
+	}
+	targets, err := s.UtilizationTargets(mu)
+	if err != nil {
+		return nil, err
+	}
+	assignments := enumerate(s.N(), kappa, mu, opts)
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("%w: empty choice set", ErrInfeasible)
+	}
+
+	nv := len(assignments)
+	n := s.N()
+	prob := lp.Problem{
+		C: objectiveCoefficients(s, assignments, obj),
+		A: make([][]float64, 0, 2+n),
+		B: make([]float64, 0, 2+n),
+	}
+	ones := make([]float64, nv)
+	for j := range ones {
+		ones[j] = 1
+	}
+	prob.A, prob.B = append(prob.A, ones), append(prob.B, 1)
+	ks := make([]float64, nv)
+	for j, a := range assignments {
+		ks[j] = float64(a.K)
+	}
+	prob.A, prob.B = append(prob.A, ks), append(prob.B, kappa)
+	for i := 0; i < n; i++ {
+		row := make([]float64, nv)
+		for j, a := range assignments {
+			if a.Mask&(1<<uint(i)) != 0 {
+				row[j] = 1
+			}
+		}
+		prob.A, prob.B = append(prob.A, row), append(prob.B, targets[i])
+	}
+
+	return solveToSchedule(prob, assignments, s.N())
+}
+
+func enumerate(n int, kappa, mu float64, opts Options) []core.Assignment {
+	if opts.Limited {
+		return core.EnumerateLimitedAssignments(n, kappa, mu)
+	}
+	return core.EnumerateAssignments(n)
+}
+
+func objectiveCoefficients(s core.Set, assignments []core.Assignment, obj Objective) []float64 {
+	c := make([]float64, len(assignments))
+	for j, a := range assignments {
+		switch obj {
+		case ObjectiveRisk:
+			c[j] = s.SubsetRisk(a.K, a.Mask)
+		case ObjectiveLoss:
+			c[j] = s.SubsetLoss(a.K, a.Mask)
+		case ObjectiveDelay:
+			c[j] = s.SubsetDelay(a.K, a.Mask)
+		default:
+			panic(fmt.Sprintf("schedule: unknown objective %d", int(obj)))
+		}
+	}
+	return c
+}
+
+func solveToSchedule(prob lp.Problem, assignments []core.Assignment, n int) (core.Schedule, error) {
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, fmt.Errorf("schedule: %w", err)
+	}
+	return solutionToSchedule(sol, assignments, n)
+}
+
+// solutionToSchedule converts an LP solution vector into a validated
+// schedule, dropping floating-point residue.
+func solutionToSchedule(sol lp.Solution, assignments []core.Assignment, n int) (core.Schedule, error) {
+	sched := make(core.Schedule)
+	var total float64
+	for j, p := range sol.X {
+		if p > probabilityFloor {
+			sched[assignments[j]] += p
+			total += p
+		}
+	}
+	// Renormalize away the dropped residue so the schedule validates.
+	for a := range sched {
+		sched[a] /= total
+	}
+	if err := sched.Validate(n); err != nil {
+		return nil, fmt.Errorf("schedule: solver produced invalid schedule: %w", err)
+	}
+	return sched, nil
+}
+
+// Sampler draws independent assignments from a share schedule via inverse
+// transform sampling over the (deterministically ordered) support.
+type Sampler struct {
+	assignments []core.Assignment
+	cumulative  []float64
+	rng         *rand.Rand
+}
+
+// NewSampler builds a sampler for the schedule. The rng must not be nil and
+// must not be shared across goroutines.
+func NewSampler(p core.Schedule, n int, rng *rand.Rand) (*Sampler, error) {
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("schedule: nil rng")
+	}
+	support := p.Support()
+	cum := make([]float64, len(support))
+	var total float64
+	for i, a := range support {
+		total += p[a]
+		cum[i] = total
+	}
+	// Guard the final boundary against rounding so Next never falls off the
+	// end.
+	cum[len(cum)-1] = math.Inf(1)
+	return &Sampler{assignments: support, cumulative: cum, rng: rng}, nil
+}
+
+// Next draws the next assignment.
+func (s *Sampler) Next() core.Assignment {
+	u := s.rng.Float64()
+	i := sort.SearchFloat64s(s.cumulative, u)
+	return s.assignments[i]
+}
+
+// Pack is the Figure-2 construction: given each channel's share budget for
+// one unit time (slots[i] shares on channel i) and a multiplicity m, it
+// greedily assigns each successive source symbol to the m channels with the
+// most remaining capacity. It returns one channel mask per symbol.
+//
+// For integral μ = m this greedy water-filling achieves the optimal symbol
+// count ⌊R_C⌋ of Theorem 4 (verified against the closed form in tests).
+func Pack(slots []int, m int) ([]uint32, error) {
+	if m < 1 || m > len(slots) {
+		return nil, fmt.Errorf("schedule: multiplicity %d outside [1, %d]", m, len(slots))
+	}
+	for i, s := range slots {
+		if s < 0 {
+			return nil, fmt.Errorf("schedule: negative slot count %d on channel %d", s, i)
+		}
+	}
+	remaining := make([]int, len(slots))
+	copy(remaining, slots)
+	order := make([]int, len(slots))
+	for i := range order {
+		order[i] = i
+	}
+
+	var packing []uint32
+	for {
+		// Channels by most remaining capacity; stable on index for
+		// determinism.
+		sort.SliceStable(order, func(a, b int) bool {
+			if remaining[order[a]] != remaining[order[b]] {
+				return remaining[order[a]] > remaining[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		if remaining[order[m-1]] == 0 {
+			return packing, nil // fewer than m channels still have capacity
+		}
+		var mask uint32
+		for _, i := range order[:m] {
+			remaining[i]--
+			mask |= 1 << uint(i)
+		}
+		packing = append(packing, mask)
+	}
+}
+
+// PackUsage tallies how many symbols each channel carries in a packing.
+func PackUsage(packing []uint32, n int) []int {
+	usage := make([]int, n)
+	for _, mask := range packing {
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				usage[i]++
+			}
+		}
+	}
+	return usage
+}

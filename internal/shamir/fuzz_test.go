@@ -1,0 +1,48 @@
+package shamir
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseShare checks the share parser never panics and accepted shares
+// round-trip.
+func FuzzParseShare(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseShare(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(s.Bytes(), data) {
+			t.Fatal("accepted share does not round-trip")
+		}
+	})
+}
+
+// FuzzSplitCombine exercises split/combine over fuzzed secrets and
+// parameters.
+func FuzzSplitCombine(f *testing.F) {
+	f.Add([]byte("secret"), uint8(2), uint8(3))
+	f.Add([]byte{0}, uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, secret []byte, kSeed, mSeed uint8) {
+		if len(secret) == 0 || len(secret) > 1<<12 {
+			return
+		}
+		m := int(mSeed)%8 + 1
+		k := int(kSeed)%m + 1
+		shares, err := Split(secret, k, m)
+		if err != nil {
+			t.Fatalf("valid parameters rejected: %v", err)
+		}
+		got, err := Combine(shares[:k])
+		if err != nil {
+			t.Fatalf("combine: %v", err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatal("roundtrip mismatch")
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Package shamir implements Shamir's (k, m) threshold secret sharing scheme
+// over GF(2^8), as introduced in "How to share a secret" (Shamir, 1979).
+//
+// A secret of L bytes is split into m shares. Each share is L+1 bytes: a
+// one-byte x-coordinate followed by L y-coordinate bytes, one per secret
+// byte. Any k shares reconstruct the secret exactly; any k-1 shares reveal
+// no information about it (information-theoretic secrecy).
+//
+// This is the threshold scheme the ReMICSS protocol model parameterizes with
+// multiplicity m and threshold k; see internal/core for the model itself.
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"remicss/internal/gf256"
+)
+
+// MaxShares is the maximum multiplicity supported by the byte-wise scheme:
+// x-coordinates are nonzero field elements, of which there are 255.
+const MaxShares = 255
+
+// Errors returned by Split and Combine. They are sentinel values so callers
+// can classify failures with errors.Is.
+var (
+	ErrInvalidParams   = errors.New("shamir: invalid parameters")
+	ErrEmptySecret     = errors.New("shamir: empty secret")
+	ErrTooFewShares    = errors.New("shamir: not enough shares to reconstruct")
+	ErrShareMismatch   = errors.New("shamir: shares have inconsistent lengths")
+	ErrDuplicateShare  = errors.New("shamir: duplicate share x-coordinate")
+	ErrMalformedShare  = errors.New("shamir: malformed share")
+	ErrZeroCoordinate  = errors.New("shamir: share has zero x-coordinate")
+	ErrRandomShortfall = errors.New("shamir: could not read random coefficients")
+)
+
+// Share is a single Shamir share: X is the evaluation point (nonzero), and Y
+// holds one field element per secret byte.
+type Share struct {
+	X byte
+	Y []byte
+}
+
+// Bytes serializes the share as X followed by Y, the format used by Split's
+// flat output and expected by ParseShare.
+func (s Share) Bytes() []byte {
+	out := make([]byte, 1+len(s.Y))
+	out[0] = s.X
+	copy(out[1:], s.Y)
+	return out
+}
+
+// ParseShare parses the wire form produced by Share.Bytes.
+func ParseShare(b []byte) (Share, error) {
+	if len(b) < 2 {
+		return Share{}, fmt.Errorf("%w: %d bytes", ErrMalformedShare, len(b))
+	}
+	if b[0] == 0 {
+		return Share{}, ErrZeroCoordinate
+	}
+	y := make([]byte, len(b)-1)
+	copy(y, b[1:])
+	return Share{X: b[0], Y: y}, nil
+}
+
+// Splitter creates shares with a caller-supplied randomness source, which
+// makes splitting deterministic under test. The zero value is not usable;
+// construct with NewSplitter.
+type Splitter struct {
+	rand io.Reader
+}
+
+// NewSplitter returns a Splitter drawing coefficients from r. If r is nil,
+// crypto/rand.Reader is used.
+func NewSplitter(r io.Reader) *Splitter {
+	if r == nil {
+		r = rand.Reader
+	}
+	return &Splitter{rand: r}
+}
+
+// Split shares the secret into m shares with reconstruction threshold k.
+// Shares are assigned x-coordinates 1..m.
+//
+// Requirements: 1 <= k <= m <= MaxShares and len(secret) > 0.
+func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
+	if k < 1 || m < k || m > MaxShares {
+		return nil, fmt.Errorf("%w: k=%d, m=%d", ErrInvalidParams, k, m)
+	}
+	if len(secret) == 0 {
+		return nil, ErrEmptySecret
+	}
+
+	shares := make([]Share, m)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Y: make([]byte, len(secret))}
+	}
+
+	// One random polynomial of degree k-1 per secret byte; the secret byte is
+	// the constant term. Draw all random coefficients in one read.
+	coeffs := make([]byte, k)
+	random := make([]byte, (k-1)*len(secret))
+	if _, err := io.ReadFull(sp.rand, random); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRandomShortfall, err)
+	}
+	for bi, sb := range secret {
+		coeffs[0] = sb
+		copy(coeffs[1:], random[bi*(k-1):(bi+1)*(k-1)])
+		for si := range shares {
+			shares[si].Y[bi] = gf256.EvalPoly(coeffs, shares[si].X)
+		}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs a secret from at least k shares produced by Split
+// with threshold k. Passing more than k shares is fine; all are used, which
+// also serves as a consistency check only in the sense that interpolation is
+// over the provided points (it does not detect corrupted shares).
+//
+// Combine fails if shares disagree on length, duplicate an x-coordinate, or
+// include a zero x-coordinate.
+func Combine(shares []Share) ([]byte, error) {
+	if len(shares) == 0 {
+		return nil, ErrTooFewShares
+	}
+	length := len(shares[0].Y)
+	if length == 0 {
+		return nil, ErrMalformedShare
+	}
+	xs := make([]byte, len(shares))
+	seen := make(map[byte]bool, len(shares))
+	for i, s := range shares {
+		if s.X == 0 {
+			return nil, ErrZeroCoordinate
+		}
+		if len(s.Y) != length {
+			return nil, fmt.Errorf("%w: share %d has %d bytes, share 0 has %d",
+				ErrShareMismatch, i, len(s.Y), length)
+		}
+		if seen[s.X] {
+			return nil, fmt.Errorf("%w: x=%d", ErrDuplicateShare, s.X)
+		}
+		seen[s.X] = true
+		xs[i] = s.X
+	}
+
+	secret := make([]byte, length)
+	ys := make([]byte, len(shares))
+	for bi := 0; bi < length; bi++ {
+		for si := range shares {
+			ys[si] = shares[si].Y[bi]
+		}
+		secret[bi] = gf256.InterpolateAtZero(xs, ys)
+	}
+	return secret, nil
+}
+
+// Split is a convenience wrapper using crypto/rand for coefficients.
+func Split(secret []byte, k, m int) ([]Share, error) {
+	return NewSplitter(nil).Split(secret, k, m)
+}

@@ -1,0 +1,92 @@
+package sharing
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBlakleyAdapterRoundtrip(t *testing.T) {
+	b := NewBlakley(rand.New(rand.NewSource(1)))
+	secret := []byte("geometry-based sharing")
+	for m := 1; m <= 5; m++ {
+		for k := 1; k <= m; k++ {
+			shares, err := b.Split(secret, k, m)
+			if err != nil {
+				t.Fatalf("Split(k=%d, m=%d): %v", k, m, err)
+			}
+			got, err := b.Combine(shares[:k], k, m)
+			if err != nil {
+				t.Fatalf("Combine(k=%d, m=%d): %v", k, m, err)
+			}
+			if !bytes.Equal(got, secret) {
+				t.Errorf("k=%d m=%d: got %q", k, m, got)
+			}
+		}
+	}
+}
+
+func TestBlakleyAdapterAnySubset(t *testing.T) {
+	b := NewBlakley(rand.New(rand.NewSource(2)))
+	secret := []byte("subset")
+	shares, err := b.Split(secret, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffled arbitrary 2-subset.
+	got, err := b.Combine([]Share{shares[3], shares[1]}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBlakleyAdapterValidation(t *testing.T) {
+	b := NewBlakley(nil)
+	if _, err := b.Split(nil, 1, 1); err == nil {
+		t.Error("empty secret accepted")
+	}
+	if _, err := b.Combine(nil, 2, 3); err == nil {
+		t.Error("no shares accepted")
+	}
+}
+
+// TestBlakleyWorksInAuthenticatedWrapper composes the two extensions.
+func TestBlakleyWorksInAuthenticatedWrapper(t *testing.T) {
+	a, err := NewAuthenticated(NewBlakley(rand.New(rand.NewSource(3))), []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("layered")
+	shares, err := a.Split(secret, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Combine(shares[1:], 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Errorf("got %q", got)
+	}
+	shares[0].Data[0] ^= 1
+	if _, err := a.Combine(shares[:2], 2, 3); err == nil {
+		t.Error("tampered Blakley share accepted")
+	}
+}
+
+func BenchmarkBlakleyVsShamirSplit(b *testing.B) {
+	secret := bytes.Repeat([]byte{0x11}, 1400)
+	for _, scheme := range []Scheme{NewShamir(rand.New(rand.NewSource(1))), NewBlakley(rand.New(rand.NewSource(1)))} {
+		b.Run(scheme.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(secret)))
+			for i := 0; i < b.N; i++ {
+				if _, err := scheme.Split(secret, 3, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

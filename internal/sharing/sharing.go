@@ -1,0 +1,312 @@
+// Package sharing abstracts over secret sharing schemes used by the
+// multichannel protocol.
+//
+// The protocol model (internal/core) is scheme-agnostic: it only assumes a
+// (k, m) threshold scheme in which each share carries as much information as
+// the secret (H(Y) = H(X), the optimal case discussed in Section III-C of
+// the paper). Three implementations are provided:
+//
+//   - Shamir: general k-of-m threshold sharing (internal/shamir).
+//   - XOR: the "perfect" m-of-m scheme used by MICSS — m-1 random pads and
+//     one pad-XOR-secret share. Only valid for k == m.
+//   - Replication: the degenerate k=1 scheme — every share is a copy.
+//
+// Auto selects the cheapest correct scheme per (k, m): Replication at k=1,
+// XOR at k=m, Shamir otherwise. The ablation benchmark in the repository
+// root quantifies the cost of running Shamir everywhere instead.
+package sharing
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"remicss/internal/shamir"
+)
+
+// Errors shared by scheme implementations.
+var (
+	ErrInvalidParams  = errors.New("sharing: invalid parameters")
+	ErrEmptySecret    = errors.New("sharing: empty secret")
+	ErrTooFewShares   = errors.New("sharing: not enough shares")
+	ErrShareMismatch  = errors.New("sharing: inconsistent share lengths")
+	ErrDuplicateIndex = errors.New("sharing: duplicate share index")
+	ErrUnsupported    = errors.New("sharing: parameters unsupported by scheme")
+)
+
+// Share is one share of a secret, tagged with its index within the split
+// (0-based, unique per split).
+type Share struct {
+	Index int
+	Data  []byte
+}
+
+// Scheme is a (k, m) threshold secret sharing scheme. Split produces m
+// shares of which any k reconstruct the secret via Combine with the same k.
+type Scheme interface {
+	// Name identifies the scheme for logs and benchmarks.
+	Name() string
+	// Split shares secret into m shares with threshold k.
+	Split(secret []byte, k, m int) ([]Share, error)
+	// Combine reconstructs a secret from at least k shares produced by a
+	// Split with threshold k and multiplicity m.
+	Combine(shares []Share, k, m int) ([]byte, error)
+}
+
+func validate(secret []byte, k, m int) error {
+	if k < 1 || m < k {
+		return fmt.Errorf("%w: k=%d, m=%d", ErrInvalidParams, k, m)
+	}
+	if len(secret) == 0 {
+		return ErrEmptySecret
+	}
+	return nil
+}
+
+func validateShares(shares []Share, k int) ([]Share, error) {
+	if len(shares) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(shares), k)
+	}
+	seen := make(map[int]bool, len(shares))
+	out := shares[:0:0]
+	for _, s := range shares {
+		if seen[s.Index] {
+			return nil, fmt.Errorf("%w: index %d", ErrDuplicateIndex, s.Index)
+		}
+		seen[s.Index] = true
+		if len(s.Data) != len(shares[0].Data) {
+			return nil, ErrShareMismatch
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Shamir adapts internal/shamir to the Scheme interface. The zero value uses
+// crypto/rand; NewShamir allows injecting a deterministic source.
+type Shamir struct {
+	splitter *shamir.Splitter
+}
+
+// NewShamir returns a Shamir scheme drawing randomness from r (nil means
+// crypto/rand).
+func NewShamir(r io.Reader) *Shamir {
+	return &Shamir{splitter: shamir.NewSplitter(r)}
+}
+
+// Name implements Scheme.
+func (s *Shamir) Name() string { return "shamir" }
+
+// Split implements Scheme.
+func (s *Shamir) Split(secret []byte, k, m int) ([]Share, error) {
+	if err := validate(secret, k, m); err != nil {
+		return nil, err
+	}
+	sp := s.splitter
+	if sp == nil {
+		sp = shamir.NewSplitter(nil)
+	}
+	raw, err := sp.Split(secret, k, m)
+	if err != nil {
+		return nil, fmt.Errorf("sharing: %w", err)
+	}
+	shares := make([]Share, m)
+	for i, r := range raw {
+		shares[i] = Share{Index: i, Data: r.Bytes()}
+	}
+	return shares, nil
+}
+
+// Combine implements Scheme.
+func (s *Shamir) Combine(shares []Share, k, m int) ([]byte, error) {
+	shares, err := validateShares(shares, k)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]shamir.Share, 0, k)
+	for _, sh := range shares[:k] {
+		p, err := shamir.ParseShare(sh.Data)
+		if err != nil {
+			return nil, fmt.Errorf("sharing: %w", err)
+		}
+		raw = append(raw, p)
+	}
+	secret, err := shamir.Combine(raw)
+	if err != nil {
+		return nil, fmt.Errorf("sharing: %w", err)
+	}
+	return secret, nil
+}
+
+// XOR is the perfect m-of-m scheme: shares 0..m-2 are uniform random pads
+// and share m-1 is the secret XORed with all pads. It only supports k == m,
+// the MICSS configuration.
+type XOR struct {
+	rand io.Reader
+}
+
+// NewXOR returns an XOR scheme drawing pads from r (nil means crypto/rand).
+func NewXOR(r io.Reader) *XOR {
+	if r == nil {
+		r = rand.Reader
+	}
+	return &XOR{rand: r}
+}
+
+// Name implements Scheme.
+func (x *XOR) Name() string { return "xor" }
+
+// Split implements Scheme.
+func (x *XOR) Split(secret []byte, k, m int) ([]Share, error) {
+	if err := validate(secret, k, m); err != nil {
+		return nil, err
+	}
+	if k != m {
+		return nil, fmt.Errorf("%w: xor requires k == m (got k=%d, m=%d)", ErrUnsupported, k, m)
+	}
+	r := x.rand
+	if r == nil {
+		r = rand.Reader
+	}
+	shares := make([]Share, m)
+	acc := make([]byte, len(secret))
+	copy(acc, secret)
+	for i := 0; i < m-1; i++ {
+		pad := make([]byte, len(secret))
+		if _, err := io.ReadFull(r, pad); err != nil {
+			return nil, fmt.Errorf("sharing: reading pad: %w", err)
+		}
+		for j := range acc {
+			acc[j] ^= pad[j]
+		}
+		shares[i] = Share{Index: i, Data: pad}
+	}
+	shares[m-1] = Share{Index: m - 1, Data: acc}
+	return shares, nil
+}
+
+// Combine implements Scheme.
+func (x *XOR) Combine(shares []Share, k, m int) ([]byte, error) {
+	if k != m {
+		return nil, fmt.Errorf("%w: xor requires k == m (got k=%d, m=%d)", ErrUnsupported, k, m)
+	}
+	shares, err := validateShares(shares, k)
+	if err != nil {
+		return nil, err
+	}
+	secret := make([]byte, len(shares[0].Data))
+	for _, s := range shares {
+		for j := range secret {
+			secret[j] ^= s.Data[j]
+		}
+	}
+	return secret, nil
+}
+
+// Replication is the degenerate k=1 scheme: every share is a copy of the
+// secret. It provides no confidentiality and maximal loss resilience; it is
+// the correct fast path when the schedule picks k=1.
+type Replication struct{}
+
+// Name implements Scheme.
+func (Replication) Name() string { return "replication" }
+
+// Split implements Scheme.
+func (Replication) Split(secret []byte, k, m int) ([]Share, error) {
+	if err := validate(secret, k, m); err != nil {
+		return nil, err
+	}
+	if k != 1 {
+		return nil, fmt.Errorf("%w: replication requires k == 1 (got k=%d)", ErrUnsupported, k)
+	}
+	shares := make([]Share, m)
+	for i := range shares {
+		data := make([]byte, len(secret))
+		copy(data, secret)
+		shares[i] = Share{Index: i, Data: data}
+	}
+	return shares, nil
+}
+
+// Combine implements Scheme.
+func (Replication) Combine(shares []Share, k, m int) ([]byte, error) {
+	if k != 1 {
+		return nil, fmt.Errorf("%w: replication requires k == 1 (got k=%d)", ErrUnsupported, k)
+	}
+	shares, err := validateShares(shares, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Sanity: replicas should agree; disagreement means corruption upstream.
+	for _, s := range shares[1:] {
+		if !bytes.Equal(s.Data, shares[0].Data) {
+			return nil, fmt.Errorf("sharing: replicas disagree")
+		}
+	}
+	out := make([]byte, len(shares[0].Data))
+	copy(out, shares[0].Data)
+	return out, nil
+}
+
+// Auto dispatches to the cheapest correct scheme for each (k, m):
+// Replication at k=1, XOR at k=m (and k>1), Shamir otherwise.
+type Auto struct {
+	shamir *Shamir
+	xor    *XOR
+	repl   Replication
+}
+
+// NewAuto returns an Auto scheme drawing randomness from r (nil means
+// crypto/rand).
+func NewAuto(r io.Reader) *Auto {
+	return &Auto{shamir: NewShamir(r), xor: NewXOR(r)}
+}
+
+// Name implements Scheme.
+func (a *Auto) Name() string { return "auto" }
+
+func (a *Auto) pick(k, m int) Scheme {
+	switch {
+	case k == 1:
+		return a.repl
+	case k == m:
+		return a.xor
+	default:
+		return a.shamir
+	}
+}
+
+// Split implements Scheme.
+func (a *Auto) Split(secret []byte, k, m int) ([]Share, error) {
+	if err := validate(secret, k, m); err != nil {
+		return nil, err
+	}
+	return a.pick(k, m).Split(secret, k, m)
+}
+
+// Combine implements Scheme.
+func (a *Auto) Combine(shares []Share, k, m int) ([]byte, error) {
+	if k < 1 || m < k {
+		return nil, fmt.Errorf("%w: k=%d, m=%d", ErrInvalidParams, k, m)
+	}
+	return a.pick(k, m).Combine(shares, k, m)
+}
+
+// ShareOverhead reports the per-share byte overhead a scheme adds on top of
+// the secret length for the given parameters. Shamir shares carry one extra
+// x-coordinate byte; XOR and replication add nothing.
+func ShareOverhead(s Scheme, k, m int) int {
+	switch s.(type) {
+	case *Shamir:
+		return 1
+	case *Auto:
+		if k > 1 && k < m {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}

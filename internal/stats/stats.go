@@ -1,0 +1,196 @@
+// Package stats provides the probability machinery behind the protocol
+// model: Poisson binomial tail probabilities (the distribution of the number
+// of successes across independent, non-identically distributed Bernoulli
+// trials) and bitmask subset iteration used by the subset formulas of
+// internal/core.
+//
+// The subset risk and loss formulas in the paper are written as sums over
+// subsets, which is exponential in the channel count. For the probabilities
+// themselves this package also provides an O(n^2) dynamic program
+// (Distribution) that computes the same quantities; the exponential
+// enumeration is retained as a test oracle and for the delay formula, which
+// genuinely needs per-subset order statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// MaxEnumerationBits caps the subset enumeration helpers: 2^22 subsets is
+// roughly the largest practical exhaustive sweep. The paper's evaluations
+// use n = 5.
+const MaxEnumerationBits = 22
+
+// Distribution returns the probability mass function of the Poisson
+// binomial distribution with the given success probabilities: out[c] is the
+// probability that exactly c of the trials succeed, for c in [0, len(probs)].
+//
+// It panics if any probability is outside [0, 1]; that is a programming
+// error in the caller's model, not a runtime condition.
+func Distribution(probs []float64) []float64 {
+	for i, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			panic(fmt.Sprintf("stats: probability %d out of range: %v", i, p))
+		}
+	}
+	pmf := make([]float64, len(probs)+1)
+	pmf[0] = 1
+	for n, p := range probs {
+		// Update in place from high to low so each trial is counted once.
+		for c := n + 1; c >= 1; c-- {
+			pmf[c] = pmf[c]*(1-p) + pmf[c-1]*p
+		}
+		pmf[0] *= 1 - p
+	}
+	return pmf
+}
+
+// TailAtLeast returns P(X >= k) for the Poisson binomial X over probs.
+// k <= 0 yields 1; k > len(probs) yields 0.
+func TailAtLeast(probs []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > len(probs) {
+		return 0
+	}
+	pmf := Distribution(probs)
+	var sum float64
+	for c := k; c < len(pmf); c++ {
+		sum += pmf[c]
+	}
+	return clampProb(sum)
+}
+
+// TailLess returns P(X < k) for the Poisson binomial X over probs.
+func TailLess(probs []float64, k int) float64 {
+	return clampProb(1 - TailAtLeast(probs, k))
+}
+
+// Mean returns the expected number of successes, Σ probs[i].
+func Mean(probs []float64) float64 {
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	return sum
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ForEachSubset calls fn with every subset of {0..n-1}, encoded as a
+// bitmask, including the empty set. It panics if n exceeds
+// MaxEnumerationBits.
+func ForEachSubset(n int, fn func(mask uint32)) {
+	if n < 0 || n > MaxEnumerationBits {
+		panic(fmt.Sprintf("stats: subset enumeration over %d elements", n))
+	}
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		fn(mask)
+	}
+}
+
+// ForEachSubsetOfSize calls fn with every size-k subset of {0..n-1} as a
+// bitmask, using Gosper's hack to walk same-popcount masks in order.
+func ForEachSubsetOfSize(n, k int, fn func(mask uint32)) {
+	if n < 0 || n > MaxEnumerationBits {
+		panic(fmt.Sprintf("stats: subset enumeration over %d elements", n))
+	}
+	if k < 0 || k > n {
+		return
+	}
+	if k == 0 {
+		fn(0)
+		return
+	}
+	limit := uint32(1) << uint(n)
+	mask := uint32(1)<<uint(k) - 1
+	for mask < limit {
+		fn(mask)
+		// Gosper's hack: next mask with the same popcount.
+		c := mask & -mask
+		r := mask + c
+		if r >= limit || r == 0 {
+			break
+		}
+		mask = (((r ^ mask) >> 2) / c) | r
+	}
+}
+
+// SubsetProbability returns the probability that the success set is exactly
+// the given mask: Π_{i in mask} probs[i] · Π_{j not in mask} (1 - probs[j]).
+func SubsetProbability(probs []float64, mask uint32) float64 {
+	p := 1.0
+	for i, pi := range probs {
+		if mask&(1<<uint(i)) != 0 {
+			p *= pi
+		} else {
+			p *= 1 - pi
+		}
+	}
+	return p
+}
+
+// KthSmallest returns the k-th smallest value (1-based) among the values
+// whose index bit is set in mask. It panics if k is out of range for the
+// mask's popcount.
+func KthSmallest(values []float64, mask uint32, k int) float64 {
+	n := bits.OnesCount32(mask)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("stats: order statistic %d of %d values", k, n))
+	}
+	sel := make([]float64, 0, n)
+	for i, v := range values {
+		if mask&(1<<uint(i)) != 0 {
+			sel = append(sel, v)
+		}
+	}
+	sort.Float64s(sel)
+	return sel[k-1]
+}
+
+// TailAtLeastEnum computes P(X >= k) by exhaustive subset enumeration. It is
+// the oracle used to validate the dynamic program and the form in which the
+// paper states the subset risk formula.
+func TailAtLeastEnum(probs []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > len(probs) {
+		return 0
+	}
+	var sum float64
+	ForEachSubset(len(probs), func(mask uint32) {
+		if bits.OnesCount32(mask) >= k {
+			sum += SubsetProbability(probs, mask)
+		}
+	})
+	return clampProb(sum)
+}
+
+// Binomial returns the binomial coefficient C(n, k) as a float64, which is
+// exact for the small n used in schedule enumeration.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return math.Round(c)
+}

@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDistributionUniformCoin(t *testing.T) {
+	// Three fair coins: binomial(3, 0.5).
+	pmf := Distribution([]float64{0.5, 0.5, 0.5})
+	want := []float64{0.125, 0.375, 0.375, 0.125}
+	for i := range want {
+		if !almostEqual(pmf[i], want[i], eps) {
+			t.Errorf("pmf[%d] = %v, want %v", i, pmf[i], want[i])
+		}
+	}
+}
+
+func TestDistributionDegenerate(t *testing.T) {
+	pmf := Distribution([]float64{1, 1, 0})
+	for i, want := range []float64{0, 0, 1, 0} {
+		if !almostEqual(pmf[i], want, eps) {
+			t.Errorf("pmf[%d] = %v, want %v", i, pmf[i], want)
+		}
+	}
+	// Empty trials: P(0 successes) = 1.
+	pmf = Distribution(nil)
+	if len(pmf) != 1 || !almostEqual(pmf[0], 1, eps) {
+		t.Errorf("Distribution(nil) = %v, want [1]", pmf)
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) > 16 {
+			seeds = seeds[:16]
+		}
+		probs := make([]float64, len(seeds))
+		for i, s := range seeds {
+			probs[i] = float64(s) / 255
+		}
+		pmf := Distribution(probs)
+		var sum float64
+		for _, p := range pmf {
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionPanicsOnBadProbability(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Distribution([%v]) did not panic", bad)
+				}
+			}()
+			Distribution([]float64{bad})
+		}()
+	}
+}
+
+func TestTailMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(10) + 1
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		for k := 0; k <= n+1; k++ {
+			dp := TailAtLeast(probs, k)
+			enum := TailAtLeastEnum(probs, k)
+			if !almostEqual(dp, enum, 1e-9) {
+				t.Fatalf("n=%d k=%d: DP %v != enumeration %v", n, k, dp, enum)
+			}
+		}
+	}
+}
+
+func TestTailBoundaries(t *testing.T) {
+	probs := []float64{0.3, 0.7}
+	if got := TailAtLeast(probs, 0); got != 1 {
+		t.Errorf("TailAtLeast(_, 0) = %v, want 1", got)
+	}
+	if got := TailAtLeast(probs, 3); got != 0 {
+		t.Errorf("TailAtLeast(_, 3) = %v, want 0", got)
+	}
+	if got := TailLess(probs, 0); got != 0 {
+		t.Errorf("TailLess(_, 0) = %v, want 0", got)
+	}
+	if got := TailLess(probs, 3); got != 1 {
+		t.Errorf("TailLess(_, 3) = %v, want 1", got)
+	}
+}
+
+func TestTailComplement(t *testing.T) {
+	f := func(a, b, c uint8, k uint8) bool {
+		probs := []float64{float64(a) / 255, float64(b) / 255, float64(c) / 255}
+		kk := int(k) % 5
+		return almostEqual(TailAtLeast(probs, kk)+TailLess(probs, kk), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{0.25, 0.5, 0.25}); !almostEqual(got, 1, eps) {
+		t.Errorf("Mean = %v, want 1", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestForEachSubsetCount(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		count := 0
+		ForEachSubset(n, func(uint32) { count++ })
+		if count != 1<<n {
+			t.Errorf("n=%d: visited %d subsets, want %d", n, count, 1<<n)
+		}
+	}
+}
+
+func TestForEachSubsetOfSize(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		total := 0
+		for k := 0; k <= n; k++ {
+			count := 0
+			ForEachSubsetOfSize(n, k, func(mask uint32) {
+				if bits.OnesCount32(mask) != k {
+					t.Fatalf("n=%d k=%d: mask %b has wrong size", n, k, mask)
+				}
+				count++
+			})
+			if want := int(Binomial(n, k)); count != want {
+				t.Errorf("n=%d k=%d: %d subsets, want %d", n, k, count, want)
+			}
+			total += count
+		}
+		if total != 1<<n {
+			t.Errorf("n=%d: sizes total %d, want %d", n, total, 1<<n)
+		}
+	}
+	// Out-of-range k visits nothing.
+	visited := false
+	ForEachSubsetOfSize(3, 4, func(uint32) { visited = true })
+	if visited {
+		t.Error("ForEachSubsetOfSize(3, 4) visited a subset")
+	}
+}
+
+func TestSubsetProbabilitySumsToOne(t *testing.T) {
+	probs := []float64{0.2, 0.9, 0.4, 0.6}
+	var sum float64
+	ForEachSubset(len(probs), func(mask uint32) {
+		sum += SubsetProbability(probs, mask)
+	})
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("subset probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	values := []float64{9, 2, 7, 4}
+	// mask selecting indices 0, 2, 3 -> values {9, 7, 4}.
+	mask := uint32(0b1101)
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 4}, {2, 7}, {3, 9},
+	}
+	for _, tc := range cases {
+		if got := KthSmallest(values, mask, tc.k); got != tc.want {
+			t.Errorf("KthSmallest(k=%d) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestKthSmallestPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range order statistic")
+		}
+	}()
+	KthSmallest([]float64{1, 2}, 0b11, 3)
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {5, 3, 10},
+		{10, 4, 210}, {0, 0, 1}, {3, 4, 0}, {3, -1, 0},
+	}
+	for _, tc := range cases {
+		if got := Binomial(tc.n, tc.k); got != tc.want {
+			t.Errorf("Binomial(%d, %d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestForEachSubsetPanicsAboveCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for oversized enumeration")
+		}
+	}()
+	ForEachSubset(MaxEnumerationBits+1, func(uint32) {})
+}
+
+func BenchmarkDistribution16(b *testing.B) {
+	probs := make([]float64, 16)
+	for i := range probs {
+		probs[i] = float64(i+1) / 20
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distribution(probs)
+	}
+}
+
+func BenchmarkTailEnumeration16(b *testing.B) {
+	probs := make([]float64, 16)
+	for i := range probs {
+		probs[i] = float64(i+1) / 20
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TailAtLeastEnum(probs, 8)
+	}
+}
+
+// TestMeanMatchesDistributionExpectation cross-checks Mean against the
+// expectation of the DP-computed pmf.
+func TestMeanMatchesDistributionExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(12) + 1
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		pmf := Distribution(probs)
+		var expect float64
+		for c, p := range pmf {
+			expect += float64(c) * p
+		}
+		if !almostEqual(expect, Mean(probs), 1e-9) {
+			t.Fatalf("E[X] from pmf %v != Mean %v", expect, Mean(probs))
+		}
+	}
+}

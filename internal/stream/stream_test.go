@@ -1,0 +1,275 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterChunksExactly(t *testing.T) {
+	var sent [][]byte
+	w, err := NewWriter(func(p []byte) error {
+		sent = append(sent, append([]byte(nil), p...))
+		return nil
+	}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("abcdefghij")) // 10 bytes -> 4+4+2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("wrote %d, want 10", n)
+	}
+	want := [][]byte{[]byte("abcd"), []byte("efgh"), []byte("ij")}
+	if len(sent) != len(want) {
+		t.Fatalf("sent %d chunks, want %d", len(sent), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(sent[i], want[i]) {
+			t.Errorf("chunk %d = %q, want %q", i, sent[i], want[i])
+		}
+	}
+}
+
+func TestWriterRetries(t *testing.T) {
+	fails := 3
+	attempts := 0
+	w, err := NewWriter(func(p []byte) error {
+		attempts++
+		if fails > 0 {
+			fails--
+			return errors.New("backpressure")
+		}
+		return nil
+	}, 8, func(error) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 4 {
+		t.Errorf("attempts = %d, want 4", attempts)
+	}
+}
+
+func TestWriterGivesUp(t *testing.T) {
+	w, err := NewWriter(func([]byte) error { return errors.New("down") }, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrWriterStopped) {
+		t.Errorf("got %v, want ErrWriterStopped", err)
+	}
+	// Subsequent writes fail fast.
+	if _, err := w.Write([]byte("y")); !errors.Is(err, ErrWriterStopped) {
+		t.Errorf("got %v, want ErrWriterStopped", err)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(nil, 8, nil); err == nil {
+		t.Error("nil send accepted")
+	}
+	if _, err := NewWriter(func([]byte) error { return nil }, 0, nil); err == nil {
+		t.Error("zero chunk size accepted")
+	}
+}
+
+func TestOrdererInOrderPassthrough(t *testing.T) {
+	var got []uint64
+	o, err := NewOrderer(8, func(seq uint64, _ []byte) { got = append(got, seq) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(0); seq < 10; seq++ {
+		o.Push(seq, nil)
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestOrdererReordersWithinWindow(t *testing.T) {
+	var got []uint64
+	o, err := NewOrderer(16, func(seq uint64, _ []byte) { got = append(got, seq) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []uint64{3, 0, 1, 5, 2, 4, 7, 6}
+	for _, seq := range perm {
+		o.Push(seq, nil)
+	}
+	if len(got) != len(perm) {
+		t.Fatalf("delivered %d of %d", len(got), len(perm))
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if st := o.Stats(); st.Skipped != 0 || st.Delivered != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOrdererSkipsPersistentGap(t *testing.T) {
+	var got []uint64
+	var gaps []uint64
+	o, err := NewOrderer(4, func(seq uint64, _ []byte) { got = append(got, seq) },
+		func(seq uint64) { gaps = append(gaps, seq) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence 0 never arrives; 1..6 do. Window 4 forces the skip.
+	for seq := uint64(1); seq <= 6; seq++ {
+		o.Push(seq, nil)
+	}
+	if len(gaps) != 1 || gaps[0] != 0 {
+		t.Fatalf("gaps = %v, want [0]", gaps)
+	}
+	if len(got) == 0 || got[0] != 1 {
+		t.Fatalf("delivery after skip = %v", got)
+	}
+	if st := o.Stats(); st.Skipped != 1 {
+		t.Errorf("skipped = %d", st.Skipped)
+	}
+}
+
+func TestOrdererWideGap(t *testing.T) {
+	var got []uint64
+	o, err := NewOrderer(2, func(seq uint64, _ []byte) { got = append(got, seq) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0, 1, 2 all missing; 3, 4, 5 arrive.
+	o.Push(3, nil)
+	o.Push(4, nil)
+	o.Push(5, nil)
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("got %v", got)
+	}
+	if st := o.Stats(); st.Skipped != 3 {
+		t.Errorf("skipped = %d, want 3", st.Skipped)
+	}
+}
+
+func TestOrdererStaleAndDuplicate(t *testing.T) {
+	o, err := NewOrderer(8, func(uint64, []byte) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Push(0, nil)
+	o.Push(0, nil) // stale (already delivered)
+	o.Push(5, nil)
+	o.Push(5, nil) // duplicate (still pending)
+	st := o.Stats()
+	if st.Stale != 1 {
+		t.Errorf("stale = %d, want 1", st.Stale)
+	}
+	if st.Duplicate != 1 {
+		t.Errorf("duplicate = %d, want 1", st.Duplicate)
+	}
+}
+
+func TestOrdererFlush(t *testing.T) {
+	var got []uint64
+	o, err := NewOrderer(64, func(seq uint64, _ []byte) { got = append(got, seq) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Push(2, nil)
+	o.Push(4, nil)
+	if len(got) != 0 {
+		t.Fatalf("premature delivery: %v", got)
+	}
+	o.Flush()
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("flush delivered %v", got)
+	}
+	if o.Pending() != 0 {
+		t.Errorf("pending = %d after flush", o.Pending())
+	}
+}
+
+func TestOrdererValidation(t *testing.T) {
+	if _, err := NewOrderer(8, nil, nil); err == nil {
+		t.Error("nil deliver accepted")
+	}
+	if _, err := NewOrderer(0, func(uint64, []byte) {}, nil); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+// TestOrdererQuickPermutations: any permutation of a prefix window delivers
+// everything in order without skips.
+func TestOrdererQuickPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(nSeed uint8) bool {
+		n := int(nSeed)%32 + 1
+		var got []uint64
+		o, err := NewOrderer(n, func(seq uint64, _ []byte) { got = append(got, seq) }, nil)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		for _, v := range perm {
+			o.Push(uint64(v), nil)
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, seq := range got {
+			if seq != uint64(i) {
+				return false
+			}
+		}
+		return o.Stats().Skipped == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWriterOrdererRoundtrip pipes data through both adapters with a
+// shuffled middle, reconstructing the byte stream.
+func TestWriterOrdererRoundtrip(t *testing.T) {
+	var symbols [][]byte
+	w, err := NewWriter(func(p []byte) error {
+		symbols = append(symbols, append([]byte(nil), p...))
+		return nil
+	}, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	o, err := NewOrderer(len(symbols), func(_ uint64, p []byte) { out.Write(p) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := rand.New(rand.NewSource(10)).Perm(len(symbols))
+	for _, i := range order {
+		o.Push(uint64(i), symbols[i])
+	}
+	o.Flush()
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Error("roundtrip corrupted the stream")
+	}
+}

@@ -1,0 +1,99 @@
+// Package striping implements the throughput-maximizing baseline of the
+// paper's Section IV-C: κ = μ = 1, with each source symbol sent whole on a
+// single channel chosen in proportion to channel rate — the ideal behavior
+// of multipath protocols like MPTCP.
+//
+// The chooser uses deterministic smallest-deficit (stride) scheduling
+// rather than random sampling, so the symbol stream matches the
+// proportional schedule p(1, {i}) = r_i / R_C exactly over any window, not
+// just in expectation. It plugs into the remicss.Sender as a Chooser,
+// making the baseline a configuration of the same machinery rather than a
+// separate code path.
+package striping
+
+import (
+	"errors"
+	"fmt"
+
+	"remicss/internal/remicss"
+)
+
+// Chooser assigns each symbol to one channel by weighted deficit
+// round-robin. It implements remicss.Chooser.
+type Chooser struct {
+	weights []float64
+	deficit []float64
+	total   float64
+	// skipUnwritable makes the chooser fall through to the next-best
+	// writable channel instead of reporting backpressure.
+	skipUnwritable bool
+}
+
+// Option configures a Chooser.
+type Option func(*Chooser)
+
+// SkipUnwritable lets the chooser divert a symbol to the next channel by
+// deficit when its first choice is not writable, mimicking an opportunistic
+// multipath scheduler.
+func SkipUnwritable() Option {
+	return func(c *Chooser) { c.skipUnwritable = true }
+}
+
+// New builds a striping chooser over channels with the given rates
+// (weights). All rates must be positive.
+func New(rates []float64, opts ...Option) (*Chooser, error) {
+	if len(rates) == 0 {
+		return nil, errors.New("striping: no channels")
+	}
+	if len(rates) > 32 {
+		return nil, fmt.Errorf("striping: %d channels exceeds mask limit", len(rates))
+	}
+	var total float64
+	for i, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("striping: non-positive rate %v on channel %d", r, i)
+		}
+		total += r
+	}
+	c := &Chooser{
+		weights: append([]float64(nil), rates...),
+		deficit: make([]float64, len(rates)),
+		total:   total,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Choose implements remicss.Chooser with k = 1 and a single channel: the
+// one with the largest accumulated deficit.
+func (c *Chooser) Choose(links []remicss.Link) (int, uint32, bool) {
+	if len(links) != len(c.weights) {
+		return 0, 0, false
+	}
+	// Accumulate one symbol's worth of credit proportionally.
+	for i := range c.deficit {
+		c.deficit[i] += c.weights[i] / c.total
+	}
+	// Pick the most-credited channel, optionally skipping unwritable ones.
+	best := -1
+	for i := range c.deficit {
+		if c.skipUnwritable && !links[i].Writable() {
+			continue
+		}
+		if best == -1 || c.deficit[i] > c.deficit[best] {
+			best = i
+		}
+	}
+	if best == -1 || !links[best].Writable() {
+		// Refund this round so credit accounting stays consistent when the
+		// symbol is retried.
+		for i := range c.deficit {
+			c.deficit[i] -= c.weights[i] / c.total
+		}
+		return 0, 0, false
+	}
+	c.deficit[best]--
+	return 1, 1 << uint(best), true
+}

@@ -1,0 +1,219 @@
+package striping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"remicss/internal/netem"
+	"remicss/internal/remicss"
+	"remicss/internal/sharing"
+)
+
+func makeLinks(t testing.TB, eng *netem.Engine, cfgs []netem.LinkConfig) []remicss.Link {
+	t.Helper()
+	links := make([]remicss.Link, len(cfgs))
+	for i, cfg := range cfgs {
+		l, err := netem.NewLink(eng, cfg, rand.New(rand.NewSource(int64(i)+1)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[i] = l
+	}
+	return links
+}
+
+func TestProportionsExact(t *testing.T) {
+	rates := []float64{5, 20, 60, 65, 100} // total 250
+	c, err := New(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := netem.NewEngine()
+	cfgs := make([]netem.LinkConfig, len(rates))
+	for i := range cfgs {
+		cfgs[i] = netem.LinkConfig{Rate: 1e9, QueueLimit: 1 << 20}
+	}
+	links := makeLinks(t, eng, cfgs)
+
+	counts := make([]int, len(rates))
+	const symbols = 250 * 40 // an exact multiple of the total rate
+	for i := 0; i < symbols; i++ {
+		k, mask, ok := c.Choose(links)
+		if !ok {
+			t.Fatal("choose failed")
+		}
+		if k != 1 {
+			t.Fatalf("k = %d, want 1", k)
+		}
+		for j := range rates {
+			if mask == 1<<uint(j) {
+				counts[j]++
+			}
+		}
+	}
+	for j, r := range rates {
+		want := int(r / 250 * symbols)
+		if counts[j] != want {
+			t.Errorf("channel %d: %d symbols, want exactly %d", j, counts[j], want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rates := []float64{3, 4, 8}
+	run := func() []uint32 {
+		c, err := New(rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := netem.NewEngine()
+		cfgs := make([]netem.LinkConfig, 3)
+		for i := range cfgs {
+			cfgs[i] = netem.LinkConfig{Rate: 1e9, QueueLimit: 1 << 20}
+		}
+		links := makeLinks(t, eng, cfgs)
+		var masks []uint32
+		for i := 0; i < 100; i++ {
+			_, mask, ok := c.Choose(links)
+			if !ok {
+				t.Fatal("choose failed")
+			}
+			masks = append(masks, mask)
+		}
+		return masks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("choice %d diverged: %b vs %b", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBackpressureWithoutSkip(t *testing.T) {
+	c, err := New([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := netem.NewEngine()
+	links := makeLinks(t, eng, []netem.LinkConfig{
+		{Rate: 1, QueueLimit: 1},
+		{Rate: 1, QueueLimit: 1},
+	})
+	// Fill channel 0 (first pick by deficit tie -> index 0).
+	_, mask, ok := c.Choose(links)
+	if !ok || mask != 0b01 {
+		t.Fatalf("first choice = %b ok=%v, want channel 0", mask, ok)
+	}
+	links[0].Send([]byte{0})
+	links[1].Send([]byte{0})
+	if _, _, ok := c.Choose(links); ok {
+		t.Error("choose succeeded with chosen channel unwritable")
+	}
+	// Refund means deficits are unchanged: after drain, next pick is
+	// channel 1.
+	eng.RunUntilIdle()
+	_, mask, ok = c.Choose(links)
+	if !ok || mask != 0b10 {
+		t.Errorf("after refund, choice = %b ok=%v, want channel 1", mask, ok)
+	}
+}
+
+func TestSkipUnwritable(t *testing.T) {
+	c, err := New([]float64{100, 1}, SkipUnwritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := netem.NewEngine()
+	links := makeLinks(t, eng, []netem.LinkConfig{
+		{Rate: 1, QueueLimit: 1},
+		{Rate: 1, QueueLimit: 1},
+	})
+	links[0].Send([]byte{0}) // channel 0 (the heavy one) is now full
+	_, mask, ok := c.Choose(links)
+	if !ok {
+		t.Fatal("skip-unwritable chooser reported backpressure")
+	}
+	if mask != 0b10 {
+		t.Errorf("choice = %b, want fallback channel 1", mask)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := New([]float64{1, 0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := New([]float64{1, -2}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := New(make([]float64, 33)); err == nil {
+		t.Error("33 channels accepted")
+	}
+	c, err := New([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Choose(nil); ok {
+		t.Error("mismatched link count accepted")
+	}
+}
+
+// TestAchievesAggregateRate runs the striping chooser through the full
+// protocol stack and verifies it achieves ~ΣR, the κ=μ=1 optimum.
+func TestAchievesAggregateRate(t *testing.T) {
+	rates := []float64{50, 200, 600, 650, 1000} // total 2500 pkt/s
+	eng := netem.NewEngine()
+	delivered := 0
+	scheme := sharing.NewAuto(rand.New(rand.NewSource(1)))
+	recv, err := remicss.NewReceiver(remicss.ReceiverConfig{
+		Scheme:   scheme,
+		Clock:    eng.Now,
+		OnSymbol: func(uint64, []byte, time.Duration) { delivered++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]remicss.Link, len(rates))
+	for i, r := range rates {
+		l, err := netem.NewLink(eng, netem.LinkConfig{Rate: r},
+			rand.New(rand.NewSource(int64(i)+7)),
+			func(p []byte, _ time.Duration) { recv.HandleDatagram(p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[i] = l
+	}
+	chooser, err := New(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := remicss.NewSender(remicss.SenderConfig{
+		Scheme:  scheme,
+		Chooser: chooser,
+		Clock:   eng.Now,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer 2x capacity for 10 virtual seconds.
+	interval := time.Duration(float64(time.Second) / 5000)
+	var offer func()
+	offer = func() {
+		_ = snd.Send([]byte{1, 2, 3, 4})
+		if eng.Now() < 10*time.Second {
+			eng.Schedule(interval, offer)
+		}
+	}
+	eng.Schedule(0, offer)
+	eng.Run(10 * time.Second)
+	eng.RunUntilIdle()
+	rate := float64(delivered) / 10
+	if math.Abs(rate-2500)/2500 > 0.05 {
+		t.Errorf("striping achieved %v pkt/s, want ~2500", rate)
+	}
+}

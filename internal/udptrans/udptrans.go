@@ -1,0 +1,310 @@
+// Package udptrans carries ReMICSS shares over real UDP sockets, one socket
+// per channel. It is the "real network" counterpart of internal/netem: the
+// same remicss.Sender/Receiver run unchanged over either.
+//
+// Because distinct loopback or LAN sockets do not themselves have distinct
+// capacities, each Link includes an optional token-bucket pacer so examples
+// can reproduce the paper's shaped-channel setups (htb-style rate limiting)
+// on a single machine. A Link without a rate limit is always writable.
+//
+// Clock discipline: senders stamp shares with WallClock (nanoseconds since
+// the Unix epoch), so one-way delay measurements are meaningful whenever
+// sender and receiver share a clock — same process or same host, exactly
+// the paper's loopback-echo arrangement.
+package udptrans
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxDatagram is the receive buffer size; larger datagrams are truncated
+// and will fail wire validation.
+const MaxDatagram = 65535
+
+// WallClock returns wall time as a Duration since the Unix epoch, the clock
+// both ends of a UDP session must use for delay measurement.
+func WallClock() time.Duration {
+	return time.Duration(time.Now().UnixNano())
+}
+
+// Impairment adds userspace netem-style degradation to a UDP link, so the
+// paper's Lossy and Delayed setups can be reproduced over real sockets on a
+// machine without traffic-control privileges. Loss drops datagrams before
+// the socket write; Delay defers the write on a timer (which can reorder,
+// as real jitter does).
+type Impairment struct {
+	// Loss is the probability a datagram is silently dropped. In [0, 1).
+	Loss float64
+	// Delay defers each datagram's transmission.
+	Delay time.Duration
+	// Seed fixes the loss process; 0 derives one from the clock.
+	Seed int64
+}
+
+func (im Impairment) validate() error {
+	if im.Loss < 0 || im.Loss >= 1 {
+		return fmt.Errorf("udptrans: impairment loss %v outside [0, 1)", im.Loss)
+	}
+	if im.Delay < 0 {
+		return fmt.Errorf("udptrans: negative impairment delay %v", im.Delay)
+	}
+	return nil
+}
+
+func (im Impairment) enabled() bool { return im.Loss > 0 || im.Delay > 0 }
+
+// Link is one UDP channel to the receiver. It satisfies remicss.Link.
+type Link struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	rate   float64 // packets per second; 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	impair Impairment
+	rng    *rand.Rand
+
+	closed bool
+}
+
+// Dial opens a channel to the receiver address ("host:port"). rate > 0
+// enables token-bucket pacing at that many packets per second with the
+// given burst (defaults to 8, the emulator's default queue depth, when
+// burst <= 0).
+func Dial(raddr string, rate float64, burst int) (*Link, error) {
+	addr, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptrans: resolving %q: %w", raddr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptrans: dialing %q: %w", raddr, err)
+	}
+	if rate < 0 {
+		conn.Close()
+		return nil, fmt.Errorf("udptrans: negative rate %v", rate)
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = 8
+	}
+	return &Link{
+		conn:   conn,
+		rate:   rate,
+		burst:  b,
+		tokens: b,
+		last:   time.Now(),
+	}, nil
+}
+
+// DialImpaired is Dial plus userspace loss/delay emulation.
+func DialImpaired(raddr string, rate float64, burst int, im Impairment) (*Link, error) {
+	if err := im.validate(); err != nil {
+		return nil, err
+	}
+	l, err := Dial(raddr, rate, burst)
+	if err != nil {
+		return nil, err
+	}
+	seed := im.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	l.impair = im
+	l.rng = rand.New(rand.NewSource(seed))
+	return l, nil
+}
+
+// refill tops up the token bucket; callers hold mu.
+func (l *Link) refill(now time.Time) {
+	if l.rate == 0 {
+		return
+	}
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+}
+
+// Writable implements remicss.Link: true when pacing permits a send.
+func (l *Link) Writable() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	if l.rate == 0 {
+		return true
+	}
+	l.refill(time.Now())
+	return l.tokens >= 1
+}
+
+// Backlog implements remicss.Link: the time until the next token.
+func (l *Link) Backlog() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rate == 0 || l.closed {
+		return 0
+	}
+	l.refill(time.Now())
+	if l.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - l.tokens) / l.rate * float64(time.Second))
+}
+
+// Send implements remicss.Link. It returns false when pacing forbids the
+// send or the link is closed; socket-level errors also report false (UDP is
+// best-effort, so the protocol treats them as drops).
+func (l *Link) Send(datagram []byte) bool {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	if l.rate > 0 {
+		l.refill(time.Now())
+		if l.tokens < 1 {
+			l.mu.Unlock()
+			return false
+		}
+		l.tokens--
+	}
+	impaired := l.impair.enabled()
+	var drop bool
+	if impaired && l.impair.Loss > 0 {
+		drop = l.rng.Float64() < l.impair.Loss
+	}
+	delay := l.impair.Delay
+	l.mu.Unlock()
+
+	if drop {
+		return true // accepted, then "lost on the wire"
+	}
+	if impaired && delay > 0 {
+		// The datagram leaves later; copy it since the caller may reuse the
+		// buffer.
+		buf := make([]byte, len(datagram))
+		copy(buf, datagram)
+		time.AfterFunc(delay, func() {
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if !closed {
+				l.conn.Write(buf)
+			}
+		})
+		return true
+	}
+	_, err := l.conn.Write(datagram)
+	return err == nil
+}
+
+// LocalAddr returns the local socket address.
+func (l *Link) LocalAddr() net.Addr { return l.conn.LocalAddr() }
+
+// Close releases the socket.
+func (l *Link) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return l.conn.Close()
+}
+
+// Listener receives share datagrams across several UDP sockets (one per
+// channel) and funnels them, serialized, into a handler.
+type Listener struct {
+	conns []*net.UDPConn
+
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Listen binds one UDP socket per address. Addresses may use port 0 to let
+// the kernel pick; Addrs reports the bound addresses for the sender to
+// dial.
+func Listen(addrs []string) (*Listener, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("udptrans: no listen addresses")
+	}
+	l := &Listener{}
+	for _, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("udptrans: resolving %q: %w", a, err)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("udptrans: listening on %q: %w", a, err)
+		}
+		l.conns = append(l.conns, conn)
+	}
+	return l, nil
+}
+
+// Addrs returns the bound address of every channel socket, in order.
+func (l *Listener) Addrs() []string {
+	out := make([]string, len(l.conns))
+	for i, c := range l.conns {
+		out[i] = c.LocalAddr().String()
+	}
+	return out
+}
+
+// Serve starts one reader goroutine per socket, invoking handle for each
+// datagram. Calls to handle are serialized with an internal mutex, so a
+// non-thread-safe remicss.Receiver is safe to use directly. Serve returns
+// immediately; Close stops the readers and waits for them.
+func (l *Listener) Serve(handle func(datagram []byte)) {
+	var handleMu sync.Mutex
+	for _, conn := range l.conns {
+		conn := conn
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			buf := make([]byte, MaxDatagram)
+			for {
+				n, err := conn.Read(buf)
+				if err != nil {
+					return // closed
+				}
+				datagram := make([]byte, n)
+				copy(datagram, buf[:n])
+				handleMu.Lock()
+				handle(datagram)
+				handleMu.Unlock()
+			}
+		}()
+	}
+}
+
+// Close shuts every socket and waits for reader goroutines to exit.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	var firstErr error
+	for _, c := range l.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	l.wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,35 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal checks that arbitrary datagrams never panic the parser and
+// that anything it accepts re-marshals to the identical datagram.
+func FuzzUnmarshal(f *testing.F) {
+	good, err := Marshal(SharePacket{
+		Seq: 1, K: 2, M: 3, Index: 1, SentAt: 42, Payload: []byte("seed"),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize))
+	f.Add(good[:HeaderSize])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(pkt)
+		if err != nil {
+			t.Fatalf("accepted packet fails to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-marshal differs from accepted datagram")
+		}
+	})
+}

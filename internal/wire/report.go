@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ReportPacket is the receiver→sender feedback datagram: a delta of
+// delivery counters since the previous report. The sender derives the
+// recent symbol loss fraction from it and feeds an adaptive controller
+// (internal/adapt). Reports travel over any channel (they are tiny and
+// carry no secret material).
+type ReportPacket struct {
+	// Epoch numbers reports so reordered or duplicated feedback is
+	// detectable.
+	Epoch uint64
+	// Delivered counts symbols reconstructed since the last report.
+	Delivered uint64
+	// Evicted counts symbols given up on (timeout/memory) since the last
+	// report.
+	Evicted uint64
+	// Pending is the receiver's current reassembly backlog.
+	Pending uint32
+}
+
+// ReportSize is the fixed report datagram length.
+const ReportSize = 36
+
+var reportMagic = [2]byte{'R', 'P'}
+
+// ErrNotReport marks datagrams that are not report packets.
+var ErrNotReport = errors.New("wire: not a report datagram")
+
+// MarshalReport serializes a report.
+func MarshalReport(r ReportPacket) []byte {
+	buf := make([]byte, ReportSize)
+	buf[0], buf[1] = reportMagic[0], reportMagic[1]
+	buf[2] = Version
+	binary.BigEndian.PutUint64(buf[4:12], r.Epoch)
+	binary.BigEndian.PutUint64(buf[12:20], r.Delivered)
+	binary.BigEndian.PutUint64(buf[20:28], r.Evicted)
+	binary.BigEndian.PutUint32(buf[28:32], r.Pending)
+	binary.BigEndian.PutUint32(buf[32:36], 0)
+	sum := crc32.Checksum(buf, castagnoli)
+	binary.BigEndian.PutUint32(buf[32:36], sum)
+	return buf
+}
+
+// UnmarshalReport parses and verifies a report datagram.
+func UnmarshalReport(buf []byte) (ReportPacket, error) {
+	if len(buf) != ReportSize {
+		return ReportPacket{}, fmt.Errorf("%w: %d bytes", ErrNotReport, len(buf))
+	}
+	if buf[0] != reportMagic[0] || buf[1] != reportMagic[1] {
+		return ReportPacket{}, ErrNotReport
+	}
+	if buf[2] != Version {
+		return ReportPacket{}, fmt.Errorf("%w: version %d", ErrBadVersion, buf[2])
+	}
+	sum := binary.BigEndian.Uint32(buf[32:36])
+	binary.BigEndian.PutUint32(buf[32:36], 0)
+	computed := crc32.Checksum(buf, castagnoli)
+	binary.BigEndian.PutUint32(buf[32:36], sum)
+	if sum != computed {
+		return ReportPacket{}, ErrBadChecksum
+	}
+	return ReportPacket{
+		Epoch:     binary.BigEndian.Uint64(buf[4:12]),
+		Delivered: binary.BigEndian.Uint64(buf[12:20]),
+		Evicted:   binary.BigEndian.Uint64(buf[20:28]),
+		Pending:   binary.BigEndian.Uint32(buf[28:32]),
+	}, nil
+}

@@ -1,0 +1,141 @@
+// Package wire defines the share packet format used by the ReMICSS
+// reference protocol.
+//
+// Each share of a source symbol travels as one datagram:
+//
+//	offset  size  field
+//	0       2     magic "RS"
+//	2       1     version (1)
+//	3       1     threshold k
+//	4       1     multiplicity m
+//	5       1     share index (0-based, < m)
+//	6       2     payload length (big endian)
+//	8       8     symbol sequence number (big endian)
+//	16      8     send timestamp, nanoseconds (big endian, signed)
+//	24      4     CRC-32C over header (zeroed checksum field) and payload
+//	28      n     share payload
+//
+// The timestamp lets the receiver measure one-way delay against the same
+// clock in simulation, and is the mechanism the paper's delay experiment
+// uses (timestamps embedded in echoed packets). The checksum guards the
+// reassembly buffer against corrupted or truncated datagrams.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// HeaderSize is the fixed number of bytes before the payload.
+const HeaderSize = 28
+
+// MaxPayload is the largest payload length the 16-bit length field allows.
+const MaxPayload = 1<<16 - 1
+
+// Version is the protocol version emitted by Marshal.
+const Version = 1
+
+var magic = [2]byte{'R', 'S'}
+
+// castagnoli is the CRC-32C table (the polynomial used by iSCSI and ext4).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors.
+var (
+	ErrTooShort    = errors.New("wire: datagram shorter than header")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadLength   = errors.New("wire: payload length mismatch")
+	ErrBadChecksum = errors.New("wire: checksum mismatch")
+	ErrBadParams   = errors.New("wire: invalid share parameters")
+)
+
+// SharePacket is the parsed form of one share datagram.
+type SharePacket struct {
+	// Seq is the source symbol sequence number the share belongs to.
+	Seq uint64
+	// K is the reconstruction threshold for the symbol.
+	K uint8
+	// M is the number of shares generated for the symbol.
+	M uint8
+	// Index is this share's index within the split, in [0, M).
+	Index uint8
+	// SentAt is the sender's clock, in nanoseconds, when the share was
+	// transmitted.
+	SentAt int64
+	// Payload is the share data.
+	Payload []byte
+}
+
+// Validate checks internal consistency of the parameters.
+func (p SharePacket) Validate() error {
+	if p.K < 1 || p.M < p.K || p.Index >= p.M {
+		return fmt.Errorf("%w: k=%d, m=%d, index=%d", ErrBadParams, p.K, p.M, p.Index)
+	}
+	if len(p.Payload) > MaxPayload {
+		return fmt.Errorf("%w: payload %d bytes", ErrBadParams, len(p.Payload))
+	}
+	return nil
+}
+
+// Marshal serializes the packet. The payload is copied into the result.
+func Marshal(p SharePacket) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, HeaderSize+len(p.Payload))
+	buf[0], buf[1] = magic[0], magic[1]
+	buf[2] = Version
+	buf[3] = p.K
+	buf[4] = p.M
+	buf[5] = p.Index
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(p.Payload)))
+	binary.BigEndian.PutUint64(buf[8:16], p.Seq)
+	binary.BigEndian.PutUint64(buf[16:24], uint64(p.SentAt))
+	copy(buf[HeaderSize:], p.Payload)
+	// Checksum over the whole datagram with the checksum field zeroed.
+	binary.BigEndian.PutUint32(buf[24:28], 0)
+	sum := crc32.Checksum(buf, castagnoli)
+	binary.BigEndian.PutUint32(buf[24:28], sum)
+	return buf, nil
+}
+
+// Unmarshal parses and verifies a datagram. The returned packet's payload
+// aliases the input buffer; callers that retain it must copy.
+func Unmarshal(buf []byte) (SharePacket, error) {
+	if len(buf) < HeaderSize {
+		return SharePacket{}, fmt.Errorf("%w: %d bytes", ErrTooShort, len(buf))
+	}
+	if buf[0] != magic[0] || buf[1] != magic[1] {
+		return SharePacket{}, ErrBadMagic
+	}
+	if buf[2] != Version {
+		return SharePacket{}, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	payloadLen := int(binary.BigEndian.Uint16(buf[6:8]))
+	if len(buf) != HeaderSize+payloadLen {
+		return SharePacket{}, fmt.Errorf("%w: header says %d, datagram carries %d",
+			ErrBadLength, payloadLen, len(buf)-HeaderSize)
+	}
+	sum := binary.BigEndian.Uint32(buf[24:28])
+	binary.BigEndian.PutUint32(buf[24:28], 0)
+	computed := crc32.Checksum(buf, castagnoli)
+	binary.BigEndian.PutUint32(buf[24:28], sum)
+	if sum != computed {
+		return SharePacket{}, ErrBadChecksum
+	}
+	p := SharePacket{
+		Seq:     binary.BigEndian.Uint64(buf[8:16]),
+		K:       buf[3],
+		M:       buf[4],
+		Index:   buf[5],
+		SentAt:  int64(binary.BigEndian.Uint64(buf[16:24])),
+		Payload: buf[HeaderSize:],
+	}
+	if err := p.Validate(); err != nil {
+		return SharePacket{}, err
+	}
+	return p, nil
+}

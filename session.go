@@ -1,0 +1,211 @@
+package remicss
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SessionConfig bundles the choices for a UDP session.
+type SessionConfig struct {
+	// Params are the protocol parameters; zero value defaults to
+	// κ = 2, μ = min(3, n): one interception and one loss tolerated.
+	Params Params
+	// Key, when non-empty, enables per-share HMAC authentication; both ends
+	// must use the same key.
+	Key []byte
+	// Rates paces each channel in packets per second (nil or 0 entries mean
+	// unpaced). Sender side only.
+	Rates []float64
+	// Burst is the pacing bucket depth (default 8).
+	Burst int
+	// Seed fixes the schedule dither for reproducibility; 0 derives one
+	// from the current time.
+	Seed int64
+	// Timeout and MaxPending configure receiver reassembly (zero values use
+	// the protocol defaults).
+	Timeout    time.Duration
+	MaxPending int
+}
+
+func (c SessionConfig) scheme() (SharingScheme, error) {
+	base := NewSharingScheme(nil)
+	if len(c.Key) == 0 {
+		return base, nil
+	}
+	return NewAuthenticatedScheme(base, c.Key)
+}
+
+func (c SessionConfig) params(n int) Params {
+	p := c.Params
+	if p.Kappa == 0 && p.Mu == 0 {
+		p = Params{Kappa: 2, Mu: 3}
+		if n < 3 {
+			p.Mu = float64(n)
+		}
+		if p.Kappa > p.Mu {
+			p.Kappa = p.Mu
+		}
+	}
+	return p
+}
+
+// Client is the sending half of a UDP session. Safe for concurrent use.
+type Client struct {
+	mu     sync.Mutex
+	sender *Sender
+	links  []Link
+	closed bool
+}
+
+// Connect opens one UDP channel per address and builds a sender with the
+// session's parameters and the dynamic share schedule.
+func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("remicss: no channel addresses")
+	}
+	scheme, err := cfg.scheme()
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.params(len(addrs))
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	chooser, err := NewDynamicChooser(p.Kappa, p.Mu, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	links, err := DialUDP(addrs, cfg.Rates, cfg.Burst)
+	if err != nil {
+		return nil, err
+	}
+	sender, err := NewSender(SenderConfig{
+		Scheme:  scheme,
+		Chooser: chooser,
+		Clock:   WallClock,
+	}, links)
+	if err != nil {
+		for _, l := range links {
+			l.(*UDPLink).Close()
+		}
+		return nil, err
+	}
+	return &Client{sender: sender, links: links}, nil
+}
+
+// Send transmits one message (up to ~64 KiB minus headers) as a single
+// protocol symbol. It retries briefly on backpressure and returns
+// ErrBackpressure if the channels stay saturated.
+func (c *Client) Send(payload []byte) error {
+	const (
+		retries = 50
+		backoff = time.Millisecond
+	)
+	for attempt := 0; attempt < retries; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		err := c.sender.Send(payload)
+		c.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrBackpressure) {
+			return err
+		}
+		time.Sleep(backoff)
+	}
+	return ErrBackpressure
+}
+
+// ErrClosed is returned by operations on a closed session endpoint.
+var ErrClosed = errors.New("remicss: session closed")
+
+// Stats returns the sender counters.
+func (c *Client) Stats() SenderStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sender.Stats()
+}
+
+// Close releases the channel sockets.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var firstErr error
+	for _, l := range c.links {
+		if err := l.(*UDPLink).Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Server is the receiving half of a UDP session.
+type Server struct {
+	listener *UDPListener
+	mu       sync.Mutex
+	receiver *Receiver
+}
+
+// Serve binds one UDP socket per address (port 0 picks free ports) and
+// delivers reconstructed messages to onMessage, in arrival order, from a
+// single goroutine at a time.
+func Serve(addrs []string, cfg SessionConfig, onMessage func(seq uint64, payload []byte, delay time.Duration)) (*Server, error) {
+	if onMessage == nil {
+		return nil, errors.New("remicss: nil message callback")
+	}
+	scheme, err := cfg.scheme()
+	if err != nil {
+		return nil, err
+	}
+	receiver, err := NewReceiver(ReceiverConfig{
+		Scheme:     scheme,
+		Clock:      WallClock,
+		OnSymbol:   onMessage,
+		Timeout:    cfg.Timeout,
+		MaxPending: cfg.MaxPending,
+	})
+	if err != nil {
+		return nil, err
+	}
+	listener, err := ListenUDP(addrs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{listener: listener, receiver: receiver}
+	listener.Serve(func(datagram []byte) {
+		s.mu.Lock()
+		s.receiver.HandleDatagram(datagram)
+		s.mu.Unlock()
+	})
+	return s, nil
+}
+
+// Addrs returns the bound channel addresses, in order, for Connect.
+func (s *Server) Addrs() []string { return s.listener.Addrs() }
+
+// Stats returns the receiver counters.
+func (s *Server) Stats() ReceiverStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.receiver.Stats()
+}
+
+// Close shuts the channel sockets down and stops the reader goroutines.
+func (s *Server) Close() error { return s.listener.Close() }
+
+// String renders a short description for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("remicss server on %v", s.Addrs())
+}

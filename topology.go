@@ -1,0 +1,94 @@
+package remicss
+
+import (
+	"io"
+	"time"
+
+	"remicss/internal/adapt"
+	"remicss/internal/measure"
+	"remicss/internal/pathset"
+	"remicss/internal/sharing"
+)
+
+// Network topology support: derive model channel sets from graphs with
+// per-edge properties, per the PSMT tradition the paper builds on.
+
+// NetworkEdge is a directed link in a network topology, carrying the same
+// four properties as a channel.
+type NetworkEdge = pathset.Edge
+
+// NetworkGraph is a directed multigraph of NetworkEdges.
+type NetworkGraph = pathset.Graph
+
+// NetworkPath is one sender→receiver path through a graph.
+type NetworkPath = pathset.Path
+
+// Topology errors.
+var (
+	ErrBadGraph = pathset.ErrBadGraph
+	ErrNoPath   = pathset.ErrNoPath
+)
+
+// NewNetworkGraph builds a topology from edges.
+func NewNetworkGraph(edges []NetworkEdge) (*NetworkGraph, error) {
+	return pathset.NewGraph(edges)
+}
+
+// DisjointChannels extracts a maximum set of edge-disjoint paths from src
+// to dst and composes each into a model channel: risk and loss compound
+// across hops, delay adds, rate bottlenecks. The returned paths parallel
+// the channel set's indices.
+func DisjointChannels(g *NetworkGraph, src, dst string) (ChannelSet, []NetworkPath, error) {
+	paths, err := g.DisjointPaths(src, dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pathset.ChannelSet(paths), paths, nil
+}
+
+// Adaptive parameter control.
+
+// AdaptConfig configures an adaptive parameter controller.
+type AdaptConfig = adapt.Config
+
+// AdaptController adjusts (κ, μ) at runtime from measured loss and
+// estimated risk.
+type AdaptController = adapt.Controller
+
+// ErrRiskUnmet means even κ = n cannot reach the confidentiality target.
+var ErrRiskUnmet = adapt.ErrRiskUnmet
+
+// NewAdaptController builds a runtime parameter controller.
+func NewAdaptController(cfg AdaptConfig) (*AdaptController, error) {
+	return adapt.New(cfg)
+}
+
+// Channel measurement.
+
+// ChannelProber actively probes one channel; pair with a ChannelSink on the
+// receiving side to estimate the channel's loss, delay, and rate.
+type ChannelProber = measure.Prober
+
+// ChannelSink accumulates probe arrivals into a channel estimate.
+type ChannelSink = measure.Sink
+
+// NewChannelProber builds a prober over a link.
+func NewChannelProber(link Link, clock func() time.Duration) (*ChannelProber, error) {
+	return measure.NewProber(link, clock)
+}
+
+// NewChannelSink builds a probe sink with the given rate window and
+// reordering slack.
+func NewChannelSink(clock func() time.Duration, window time.Duration, slack int) (*ChannelSink, error) {
+	return measure.NewSink(clock, window, slack)
+}
+
+// Blakley scheme.
+
+// NewBlakleyScheme returns Blakley's hyperplane threshold scheme, the
+// paper's other foundational secret sharing construction. Interchangeable
+// with the default scheme; shares are k bytes longer. r may be nil for
+// crypto/rand.
+func NewBlakleyScheme(r io.Reader) SharingScheme {
+	return sharing.NewBlakley(r)
+}
