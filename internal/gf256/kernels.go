@@ -1,0 +1,114 @@
+package gf256
+
+// Slice kernels: bulk field operations over whole byte slices. These exist
+// because the Shamir hot path (internal/shamir) evaluates one polynomial per
+// secret byte at the same x for every share — restructured block-wise, that
+// is a handful of constant-times-slice passes instead of len(secret)·k
+// scalar Horner steps. Each kernel multiplies through a precomputed 256-byte
+// row of the full multiplication table, so the inner loop is one table load
+// and one XOR per byte with no log/exp indirection and no zero branches.
+//
+// All kernels require len(src) == len(dst) (or len(acc) == len(coeff)) and
+// panic otherwise: a length mismatch is a programming error in the caller's
+// buffer management, never a runtime condition.
+
+// mulTable[c] is the multiplication-by-c row: mulTable[c][a] = c*a. 64 KiB,
+// built once at init from the log/exp tables; row access makes the slice
+// kernels branch-free per byte.
+var mulTable [256][256]byte
+
+func init() {
+	// expTable/logTable are filled by the init in gf256.go; Go runs init
+	// functions within a package in source-file order (gf256.go < kernels.go),
+	// so the scalar tables are ready here.
+	for c := 1; c < 256; c++ {
+		row := &mulTable[c]
+		logC := int(logTable[c])
+		for a := 1; a < 256; a++ {
+			row[a] = expTable[logC+int(logTable[a])]
+		}
+	}
+}
+
+// MulSlice sets dst[i] = c * src[i] for every i. dst and src may be the
+// same slice (in-place scaling); partial overlap is not supported.
+func MulSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// AddMulSlice accumulates dst[i] ^= c * src[i] for every i — the
+// scaled-accumulate step of Lagrange reconstruction (secret += w_i · Y_i).
+// dst and src must not overlap.
+func AddMulSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: AddMulSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		AddSlice(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// MulAddSlice performs one block Horner step: acc[i] = acc[i]*x ^ coeff[i]
+// for every i. Iterated from the highest-degree coefficient slice down to
+// the constant term, it evaluates len(acc) polynomials at x in parallel.
+// acc and coeff must not overlap.
+func MulAddSlice(acc []byte, x byte, coeff []byte) {
+	if len(acc) != len(coeff) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if x == 0 {
+		copy(acc, coeff)
+		return
+	}
+	row := &mulTable[x]
+	for i, a := range acc {
+		acc[i] = row[a] ^ coeff[i]
+	}
+}
+
+// AddSlice accumulates dst[i] ^= src[i] for every i (field addition is XOR).
+// The loop is written over 8-byte words where possible; dst and src must not
+// partially overlap (dst == src zeroes dst, which is correct but useless).
+func AddSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: AddSlice length mismatch")
+	}
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		// The compiler merges each 8-byte group into single word loads and
+		// stores on little-endian targets.
+		dst[i+0] ^= src[i+0]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}

@@ -127,13 +127,16 @@ func (l *Link) Down() bool { return l.down }
 func (l *Link) QueueLen() int { return l.queued }
 
 // Send enqueues a packet. It returns false (counting a drop) if the
-// transmit queue is full. The payload is not copied; callers must not
-// mutate it afterwards.
+// transmit queue is full. The payload is copied internally — the protocol's
+// Link contract lets callers recycle their buffer as soon as Send returns,
+// and the emulated queue holds packets far beyond that.
 func (l *Link) Send(payload []byte) bool {
 	if l.down || l.queued >= l.cfg.QueueLimit {
 		l.stats.Dropped++
 		return false
 	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
 	l.queued++
 	l.stats.Sent++
 
@@ -160,7 +163,7 @@ func (l *Link) Send(payload []byte) bool {
 		}
 		l.eng.At(arrival, func() {
 			l.stats.Delivered++
-			l.deliver(payload, arrival)
+			l.deliver(buf, arrival)
 		})
 	})
 	return true

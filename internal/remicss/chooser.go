@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"time"
 
 	"remicss/internal/core"
 	"remicss/internal/schedule"
@@ -46,6 +46,12 @@ type DynamicChooser struct {
 	pendingValid bool
 	pendingK     int
 	pendingM     int
+	// ready and backlog are Choose scratch, reused across calls so the
+	// per-symbol hot path stays allocation-free. A DynamicChooser must not
+	// be shared between senders: Choose mutates the rng, the pending draw,
+	// and this scratch (the owning Sender serializes its own calls).
+	ready   []int
+	backlog []time.Duration
 }
 
 // DynamicOption configures a DynamicChooser.
@@ -96,19 +102,30 @@ func (c *DynamicChooser) Choose(links []Link) (int, uint32, bool) {
 		return 0, 0, false
 	}
 
-	ready := make([]int, 0, len(links))
+	ready := c.ready[:0]
+	backlog := c.backlog[:0]
 	for i, l := range links {
 		if l.Writable() {
 			ready = append(ready, i)
+			backlog = append(backlog, l.Backlog())
 		}
 	}
+	c.ready, c.backlog = ready, backlog
 	if len(ready) < m {
 		return 0, 0, false
 	}
 	if !c.indexOrder {
-		sort.SliceStable(ready, func(a, b int) bool {
-			return links[ready[a]].Backlog() < links[ready[b]].Backlog()
-		})
+		// Stable insertion sort by backlog: sort.SliceStable's closure and
+		// interface conversion allocate on every call, and readiness sets
+		// are tiny (≤ 32 channels), so this keeps Choose allocation-free.
+		// Backlogs are sampled once per link above rather than re-queried
+		// per comparison.
+		for i := 1; i < len(ready); i++ {
+			for j := i; j > 0 && backlog[j] < backlog[j-1]; j-- {
+				ready[j], ready[j-1] = ready[j-1], ready[j]
+				backlog[j], backlog[j-1] = backlog[j-1], backlog[j]
+			}
+		}
 	}
 	var mask uint32
 	for _, i := range ready[:m] {

@@ -1,0 +1,140 @@
+package remicss
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"remicss/internal/sharing"
+)
+
+// chanLink copies each accepted datagram into a channel, modeling a
+// transport that honors the no-retention contract while handing ingest to
+// a separate goroutine per channel.
+type chanLink struct{ ch chan []byte }
+
+func (l *chanLink) Send(datagram []byte) bool {
+	l.ch <- append([]byte(nil), datagram...)
+	return true
+}
+
+func (l *chanLink) Writable() bool         { return true }
+func (l *chanLink) Backlog() time.Duration { return 0 }
+
+// TestConcurrentSendAndIngest drives one sender from several goroutines
+// while the receiver ingests from one goroutine per channel — the
+// concurrency shape of a real multi-socket deployment, in-process and
+// deterministic. Run under -race this exercises the locking of both
+// halves; the assertions check that every symbol survives the interleaving
+// intact.
+func TestConcurrentSendAndIngest(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		k    int
+	}{
+		{"replication-k1", 1},
+		{"shamir-k2", 2},
+		{"xor-k3", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const (
+				channels  = 3
+				senders   = 4
+				perSender = 200
+			)
+			total := senders * perSender
+
+			var mu sync.Mutex
+			seen := make(map[uint64]bool, total)
+			recv, err := NewReceiver(ReceiverConfig{
+				Scheme: sharing.NewAuto(rand.New(rand.NewSource(1))),
+				Clock:  func() time.Duration { return 0 },
+				OnSymbol: func(seq uint64, payload []byte, _ time.Duration) {
+					id := binary.BigEndian.Uint64(payload)
+					mu.Lock()
+					defer mu.Unlock()
+					if seen[id] {
+						t.Errorf("id %d delivered twice", id)
+					}
+					seen[id] = true
+					for _, b := range payload[8:] {
+						if b != byte(id) {
+							t.Errorf("id %d: corrupted payload", id)
+							break
+						}
+					}
+				},
+				Timeout:    time.Hour,
+				MaxPending: 2 * total,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			links := make([]Link, channels)
+			var ingest sync.WaitGroup
+			for i := range links {
+				l := &chanLink{ch: make(chan []byte, 64)}
+				links[i] = l
+				ingest.Add(1)
+				go func() {
+					defer ingest.Done()
+					for d := range l.ch {
+						recv.HandleDatagram(d)
+					}
+				}()
+			}
+
+			sender, err := NewSender(SenderConfig{
+				Scheme:  sharing.NewAuto(rand.New(rand.NewSource(1))),
+				Chooser: FixedChooser{K: tc.k, Mask: 1<<channels - 1},
+				Clock:   func() time.Duration { return 0 },
+			}, links)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			for g := 0; g < senders; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					payload := make([]byte, 64)
+					for i := 0; i < perSender; i++ {
+						id := uint64(g*perSender + i)
+						binary.BigEndian.PutUint64(payload, id)
+						for j := 8; j < len(payload); j++ {
+							payload[j] = byte(id)
+						}
+						if err := sender.Send(payload); err != nil {
+							t.Errorf("goroutine %d: %v", g, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for _, l := range links {
+				close(l.(*chanLink).ch)
+			}
+			ingest.Wait()
+
+			if len(seen) != total {
+				t.Errorf("delivered %d of %d symbols", len(seen), total)
+			}
+			if got := sender.Seq(); got != uint64(total) {
+				t.Errorf("sender assigned %d sequence numbers, want %d", got, total)
+			}
+			st := recv.Stats()
+			if st.SymbolsDelivered != int64(total) {
+				t.Errorf("receiver delivered %d, want %d", st.SymbolsDelivered, total)
+			}
+			if st.SharesInvalid != 0 || st.CombineFailures != 0 {
+				t.Errorf("invalid shares %d, combine failures %d — buffer reuse is leaking across goroutines",
+					st.SharesInvalid, st.CombineFailures)
+			}
+		})
+	}
+}

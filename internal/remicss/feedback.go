@@ -11,14 +11,17 @@ import (
 
 // MakeReport builds the next feedback report: a delta of the delivery
 // counters since the previous MakeReport call. Send the returned datagram
-// back to the sender over any channel.
+// back to the sender over any channel. Safe to call concurrently with
+// datagram ingest.
 func (r *Receiver) MakeReport() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	st := r.stats
 	rep := wire.ReportPacket{
 		Epoch:     r.reportEpoch,
 		Delivered: uint64(st.SymbolsDelivered - r.lastReport.SymbolsDelivered),
 		Evicted:   uint64(st.SymbolsEvicted - r.lastReport.SymbolsEvicted),
-		Pending:   uint32(r.Pending()),
+		Pending:   uint32(r.order.Len()),
 	}
 	r.reportEpoch++
 	r.lastReport = st

@@ -1,0 +1,154 @@
+package remicss
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"remicss/internal/sharing"
+	"remicss/internal/wire"
+)
+
+// nullLink accepts every datagram and discards it without retaining the
+// slice, isolating the sender's own allocation behavior.
+type nullLink struct{}
+
+func (nullLink) Send(datagram []byte) bool { return true }
+func (nullLink) Writable() bool            { return true }
+func (nullLink) Backlog() time.Duration    { return 0 }
+
+// hotPathSender builds a sender over m null links with a fixed (k, mask)
+// assignment and a constant clock.
+func hotPathSender(t testing.TB, k, m int) *Sender {
+	t.Helper()
+	links := make([]Link, m)
+	for i := range links {
+		links[i] = nullLink{}
+	}
+	s, err := NewSender(SenderConfig{
+		Scheme:  sharing.NewAuto(rand.New(rand.NewSource(1))),
+		Chooser: FixedChooser{K: k, Mask: 1<<uint(m) - 1},
+		Clock:   func() time.Duration { return 0 },
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSendHotPathAllocs pins the steady-state allocation budget of the
+// send path: zero for the replication and XOR fast paths, O(1) for Shamir
+// (its fresh-randomness buffer plus scheme-internal scratch).
+func TestSendHotPathAllocs(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5a}, 1400)
+	cases := []struct {
+		name string
+		k, m int
+		max  float64
+	}{
+		{"replication-1of3", 1, 3, 0},
+		{"xor-3of3", 3, 3, 0},
+		{"shamir-3of5", 3, 5, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := hotPathSender(t, tc.k, tc.m)
+			// Warm the scratch buffers (first call sizes them).
+			if err := s.Send(payload); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if err := s.Send(payload); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > tc.max {
+				t.Errorf("Send allocates %v times per op, want <= %v", allocs, tc.max)
+			}
+		})
+	}
+}
+
+// TestReceiverIngestSteadyStateAllocs checks that reassembly recycles
+// entries and share payload buffers through the pool: ingesting a stream
+// of fresh symbols settles to O(1) allocations per symbol (the delivered
+// secret plus list bookkeeping), not per-share buffer growth.
+func TestReceiverIngestSteadyStateAllocs(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x33}, 1400)
+	var now time.Duration
+	recv, err := NewReceiver(ReceiverConfig{
+		Scheme:   sharing.NewAuto(rand.New(rand.NewSource(2))),
+		Clock:    func() time.Duration { return now },
+		OnSymbol: func(seq uint64, payload []byte, delay time.Duration) {},
+		Timeout:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replication shares carry the payload verbatim, so datagrams can be
+	// crafted directly. Each round is one fresh symbol (k=1, m=3): the
+	// first share delivers, the rest are late duplicates. Advancing the
+	// clock past the timeout each round evicts the previous tombstone,
+	// returning its entry and buffers to the pool.
+	var seq uint64
+	var dgram []byte
+	round := func() {
+		now += 10 * time.Millisecond
+		for idx := 0; idx < 3; idx++ {
+			pkt := wire.SharePacket{
+				Seq: seq, K: 1, M: 3, Index: uint8(idx),
+				SentAt: int64(now), Payload: payload,
+			}
+			var err error
+			dgram, err = wire.AppendMarshal(dgram[:0], pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recv.HandleDatagram(dgram)
+		}
+		seq++
+	}
+	for i := 0; i < 5; i++ {
+		round() // warm the entry pool and buffer freelist
+	}
+	allocs := testing.AllocsPerRun(100, round)
+	// Budget: the delivered secret handed to the callback, the order-list
+	// element, and occasional pool misses after a GC — but nothing
+	// proportional to shares.
+	if allocs > 5 {
+		t.Errorf("ingest allocates %v times per symbol, want <= 5", allocs)
+	}
+	if got := recv.Stats().SymbolsDelivered; got != int64(seq) {
+		t.Fatalf("delivered %d of %d symbols", got, seq)
+	}
+}
+
+// BenchmarkSendHotPath measures the steady-state send path over null links
+// for the three scheme fast paths; CI runs it as a smoke test.
+func BenchmarkSendHotPath(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5a}, 1400)
+	for _, tc := range []struct {
+		name string
+		k, m int
+	}{
+		{"replication-1of3", 1, 3},
+		{"xor-3of3", 3, 3},
+		{"shamir-3of5", 3, 5},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := hotPathSender(b, tc.k, tc.m)
+			if err := s.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Send(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

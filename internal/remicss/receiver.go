@@ -3,6 +3,7 @@ package remicss
 import (
 	"container/list"
 	"fmt"
+	"sync"
 	"time"
 
 	"remicss/internal/sharing"
@@ -48,7 +49,10 @@ type ReceiverConfig struct {
 	// sender's clock.
 	Clock func() time.Duration
 	// OnSymbol is invoked for every reconstructed symbol with its one-way
-	// delay (reconstruction time minus the sender's timestamp).
+	// delay (reconstruction time minus the sender's timestamp). The payload
+	// is freshly allocated and owned by the callback. OnSymbol runs with
+	// the receiver's lock held — deliveries are serialized in
+	// reconstruction order — so it must not call back into the Receiver.
 	OnSymbol func(seq uint64, payload []byte, delay time.Duration)
 	// Timeout evicts partial symbols idle longer than this. Defaults to
 	// DefaultReassemblyTimeout.
@@ -59,9 +63,15 @@ type ReceiverConfig struct {
 }
 
 // Receiver is the receiving half of the protocol: a reassembly buffer over
-// incoming share datagrams. Not safe for concurrent use.
+// incoming share datagrams. It is safe for concurrent use: a single mutex
+// serializes HandleDatagram, Tick, MakeReport, Stats, and Pending, so
+// datagrams may be ingested directly from multiple transport goroutines.
+// Reassembly entries and their share buffers are recycled through a
+// sync.Pool, so steady-state ingest does not allocate per share.
 type Receiver struct {
-	cfg   ReceiverConfig
+	cfg ReceiverConfig
+
+	mu    sync.Mutex
 	stats ReceiverStats
 
 	// pending maps seq -> reassembly entry; order tracks insertion order
@@ -75,8 +85,9 @@ type Receiver struct {
 }
 
 // entry is one symbol being reassembled. A delivered symbol keeps a
-// tombstone entry (shares nil, done true) until eviction so that late
-// duplicate shares are classified correctly.
+// tombstone entry (shares recycled, done true) until eviction so that late
+// duplicate shares are classified correctly. Entries live in entryPool;
+// spare holds share payload buffers recycled within and across entries.
 type entry struct {
 	seq     uint64
 	k, m    int
@@ -85,6 +96,35 @@ type entry struct {
 	shares  []sharing.Share
 	haveIdx uint32 // bitmask of share indices held
 	done    bool
+	spare   [][]byte // freelist of share payload buffers
+}
+
+// entryPool recycles reassembly entries (and, through their spare lists,
+// share payload buffers) across symbols and across receivers.
+var entryPool = sync.Pool{New: func() any { return new(entry) }}
+
+// grabBuf returns an n-byte buffer, reusing the freelist when a spare has
+// enough capacity.
+func (e *entry) grabBuf(n int) []byte {
+	if last := len(e.spare) - 1; last >= 0 {
+		b := e.spare[last]
+		e.spare[last] = nil
+		e.spare = e.spare[:last]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// recycleShares moves every held share buffer onto the freelist and resets
+// the share list.
+func (e *entry) recycleShares() {
+	for i := range e.shares {
+		e.spare = append(e.spare, e.shares[i].Data)
+		e.shares[i].Data = nil
+	}
+	e.shares = e.shares[:0]
 }
 
 // NewReceiver builds a receiver.
@@ -112,14 +152,28 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 }
 
 // Stats returns a snapshot of the receiver counters.
-func (r *Receiver) Stats() ReceiverStats { return r.stats }
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 // Pending returns the number of reassembly entries held (including
 // delivered tombstones awaiting timeout).
-func (r *Receiver) Pending() int { return r.order.Len() }
+func (r *Receiver) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}
 
-// HandleDatagram processes one received share datagram.
+// HandleDatagram processes one received share datagram. The buffer is only
+// read, never retained or mutated, so callers may reuse it immediately;
+// concurrent calls from multiple transport goroutines are serialized
+// internally.
 func (r *Receiver) HandleDatagram(buf []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
 	now := r.cfg.Clock()
 	r.evictExpired(now)
 
@@ -132,13 +186,13 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 	elem, exists := r.pending[pkt.Seq]
 	if !exists {
 		r.admit()
-		e := &entry{
-			seq:     pkt.Seq,
-			k:       int(pkt.K),
-			m:       int(pkt.M),
-			sentAt:  pkt.SentAt,
-			arrived: now,
-		}
+		e := entryPool.Get().(*entry)
+		e.seq = pkt.Seq
+		e.k, e.m = int(pkt.K), int(pkt.M)
+		e.sentAt = pkt.SentAt
+		e.arrived = now
+		e.haveIdx = 0
+		e.done = false
 		elem = r.order.PushBack(e)
 		r.pending[pkt.Seq] = elem
 	}
@@ -159,7 +213,7 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 		return
 	}
 	e.haveIdx |= 1 << uint(pkt.Index)
-	data := make([]byte, len(pkt.Payload))
+	data := e.grabBuf(len(pkt.Payload))
 	copy(data, pkt.Payload)
 	e.shares = append(e.shares, sharing.Share{Index: int(pkt.Index), Data: data})
 	r.stats.SharesReceived++
@@ -167,17 +221,20 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 	if len(e.shares) < e.k {
 		return
 	}
-	secret, err := r.cfg.Scheme.Combine(e.shares, e.k, e.m)
+	// A nil destination makes CombineInto allocate a fresh secret, whose
+	// ownership transfers to the callback (downstream consumers such as
+	// stream.Orderer retain payloads).
+	secret, err := sharing.CombineInto(r.cfg.Scheme, nil, e.shares, e.k, e.m)
 	if err != nil {
 		r.stats.CombineFailures++
 		// Leave the entry; a later consistent share set cannot form since
 		// indices are unique, so mark done to stop retrying.
 		e.done = true
-		e.shares = nil
+		e.recycleShares()
 		return
 	}
 	e.done = true
-	e.shares = nil
+	e.recycleShares()
 	r.stats.SymbolsDelivered++
 	r.cfg.OnSymbol(e.seq, secret, now-time.Duration(e.sentAt))
 }
@@ -185,10 +242,13 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 // Tick performs timeout eviction; call it periodically when no datagrams
 // are arriving so stale entries do not linger.
 func (r *Receiver) Tick() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.evictExpired(r.cfg.Clock())
 }
 
-// evictExpired drops entries older than the timeout (oldest first).
+// evictExpired drops entries older than the timeout (oldest first);
+// callers hold mu.
 func (r *Receiver) evictExpired(now time.Duration) {
 	for {
 		front := r.order.Front()
@@ -203,7 +263,7 @@ func (r *Receiver) evictExpired(now time.Duration) {
 	}
 }
 
-// admit makes room for a new entry under the memory cap.
+// admit makes room for a new entry under the memory cap; callers hold mu.
 func (r *Receiver) admit() {
 	for r.order.Len() >= r.cfg.MaxPending {
 		front := r.order.Front()
@@ -218,4 +278,6 @@ func (r *Receiver) drop(elem *list.Element, e *entry) {
 	if !e.done {
 		r.stats.SymbolsEvicted++
 	}
+	e.recycleShares()
+	entryPool.Put(e)
 }

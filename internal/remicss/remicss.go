@@ -32,7 +32,11 @@ import (
 // implemented by netem.Link (simulation) and udptrans.Link (real UDP).
 type Link interface {
 	// Send enqueues one datagram, returning false if the channel cannot
-	// accept it right now (transmit queue full).
+	// accept it right now (transmit queue full). Implementations must not
+	// retain the slice after returning: the sender recycles one marshal
+	// buffer across shares, so a retained reference would be overwritten
+	// by the next share. Links that defer transmission (emulated queues,
+	// delay impairment) copy internally.
 	Send(datagram []byte) bool
 	// Writable reports whether Send would currently accept a datagram; this
 	// is the protocol's epoll readiness signal.

@@ -3,6 +3,7 @@ package remicss
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"time"
 
 	"remicss/internal/sharing"
@@ -35,14 +36,25 @@ type SenderConfig struct {
 	Clock func() time.Duration
 }
 
-// Sender is the sending half of the protocol. It is not safe for concurrent
-// use; callers serialize Send (the simulator is single-threaded, and the
-// UDP transport wraps it in its own goroutine).
+// Sender is the sending half of the protocol. It is safe for concurrent
+// use: a single mutex serializes Send, Stats, and Seq, and the chooser
+// and scratch buffers are only touched under it. The steady-state Send
+// path reuses a per-sender share slice and one marshal buffer, so the
+// replication and XOR schemes transmit without heap allocation; links
+// must therefore not retain the datagram slice after Send returns (see
+// the Link contract).
 type Sender struct {
 	cfg   SenderConfig
 	links []Link
+
+	mu    sync.Mutex
 	seq   uint64
 	stats SenderStats
+	// shares and dgram are Send scratch, reused across calls: shares
+	// holds the split output (share payload buffers are recycled by the
+	// scheme's into path), dgram holds one marshaled datagram at a time.
+	shares []sharing.Share
+	dgram  []byte
 }
 
 // NewSender builds a sender over the given links.
@@ -66,12 +78,20 @@ func NewSender(cfg SenderConfig, links []Link) (*Sender, error) {
 }
 
 // Stats returns a snapshot of the sender counters.
-func (s *Sender) Stats() SenderStats { return s.stats }
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // Send transmits one source symbol. It returns ErrBackpressure if no
 // channel subset is currently available (the symbol is not queued anywhere;
-// best-effort semantics), or a split/encoding error.
+// best-effort semantics), or a split/encoding error. Safe to call from
+// multiple goroutines; symbols are sequenced in lock-acquisition order.
 func (s *Sender) Send(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
 	k, mask, ok := s.cfg.Chooser.Choose(s.links)
 	if !ok {
 		s.stats.SymbolsStalled++
@@ -79,10 +99,11 @@ func (s *Sender) Send(payload []byte) error {
 	}
 	m := bits.OnesCount32(mask)
 
-	shares, err := s.cfg.Scheme.Split(payload, k, m)
+	shares, err := sharing.SplitInto(s.cfg.Scheme, payload, k, m, s.shares)
 	if err != nil {
 		return fmt.Errorf("remicss: splitting symbol: %w", err)
 	}
+	s.shares = shares
 
 	seq := s.seq
 	s.seq++
@@ -101,11 +122,13 @@ func (s *Sender) Send(payload []byte) error {
 			SentAt:  int64(now),
 			Payload: shares[shareIdx].Data,
 		}
-		buf, err := wire.Marshal(pkt)
+		// One marshal buffer serves every share: links do not retain the
+		// datagram after Send returns, so it is safe to overwrite.
+		s.dgram, err = wire.AppendMarshal(s.dgram[:0], pkt)
 		if err != nil {
 			return fmt.Errorf("remicss: encoding share: %w", err)
 		}
-		if s.links[i].Send(buf) {
+		if s.links[i].Send(s.dgram) {
 			s.stats.SharesSent++
 		} else {
 			s.stats.SharesDropped++
@@ -117,5 +140,9 @@ func (s *Sender) Send(payload []byte) error {
 }
 
 // Seq returns the next sequence number to be assigned (i.e. the number of
-// symbols sent so far, including stalled attempts are excluded).
-func (s *Sender) Seq() uint64 { return s.seq }
+// symbols sent so far; stalled attempts do not consume a sequence number).
+func (s *Sender) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

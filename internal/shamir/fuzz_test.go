@@ -5,14 +5,28 @@ import (
 	"testing"
 )
 
-// FuzzParseShare checks the share parser never panics and accepted shares
-// round-trip.
+// FuzzParseShare checks the share parser never panics, accepted shares
+// round-trip, and parsing never mutates its input.
 func FuzzParseShare(f *testing.F) {
 	f.Add([]byte{1, 2, 3})
 	f.Add([]byte{0, 1})
 	f.Add([]byte{})
+	// Valid share plus truncation/corruption mutants.
+	if valid, err := Split([]byte("fuzz seed secret"), 2, 3); err == nil {
+		wire := valid[0].Bytes()
+		f.Add(wire)
+		f.Add(wire[:1])
+		f.Add(wire[:len(wire)/2])
+		flipped := append([]byte(nil), wire...)
+		flipped[0] = 0
+		f.Add(flipped)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
+		orig := append([]byte(nil), data...)
 		s, err := ParseShare(data)
+		if !bytes.Equal(data, orig) {
+			t.Fatal("ParseShare mutated its input")
+		}
 		if err != nil {
 			return
 		}
@@ -43,6 +57,18 @@ func FuzzSplitCombine(f *testing.F) {
 		}
 		if !bytes.Equal(got, secret) {
 			t.Fatal("roundtrip mismatch")
+		}
+		// The into variants must agree with the wrappers on the same shares.
+		intoShares, err := NewSplitter(nil).SplitInto(secret, k, m, make([]Share, 0, m))
+		if err != nil {
+			t.Fatalf("split into: %v", err)
+		}
+		gotInto, err := CombineInto(make([]byte, 0, len(secret)), intoShares[m-k:])
+		if err != nil {
+			t.Fatalf("combine into: %v", err)
+		}
+		if !bytes.Equal(gotInto, secret) {
+			t.Fatal("into-variant roundtrip mismatch")
 		}
 	})
 }

@@ -86,6 +86,23 @@ func NewSplitter(r io.Reader) *Splitter {
 //
 // Requirements: 1 <= k <= m <= MaxShares and len(secret) > 0.
 func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
+	return sp.SplitInto(secret, k, m, nil)
+}
+
+// SplitInto is Split writing into caller-provided share storage: the shares
+// slice is resized to m and each share's Y buffer is reused when its
+// capacity suffices, so a caller cycling the same slice through repeated
+// splits reaches a steady state of one scratch allocation per call (the
+// random coefficient block). Passing nil shares is equivalent to Split.
+//
+// The split is evaluated block-wise: one random polynomial of degree k-1 per
+// secret byte, all evaluated together with the gf256 slice kernels — share i
+// is Horner-accumulated as Y = ((c_{k-1}·x + c_{k-2})·x + ...)·x + secret
+// where each coefficient c_j is a whole random slice. This is the same
+// polynomial family as the byte-wise code it replaced (the coefficients are
+// merely drawn in coefficient-major rather than byte-major order) and
+// several times faster.
+func (sp *Splitter) SplitInto(secret []byte, k, m int, shares []Share) ([]Share, error) {
 	if k < 1 || m < k || m > MaxShares {
 		return nil, fmt.Errorf("%w: k=%d, m=%d", ErrInvalidParams, k, m)
 	}
@@ -93,26 +110,58 @@ func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
 		return nil, ErrEmptySecret
 	}
 
-	shares := make([]Share, m)
+	shares = growShares(shares, m)
 	for i := range shares {
-		shares[i] = Share{X: byte(i + 1), Y: make([]byte, len(secret))}
+		shares[i].X = byte(i + 1)
+		shares[i].Y = growBytes(shares[i].Y, len(secret))
 	}
 
-	// One random polynomial of degree k-1 per secret byte; the secret byte is
-	// the constant term. Draw all random coefficients in one read.
-	coeffs := make([]byte, k)
+	if k == 1 {
+		// Degree-0 polynomials: every share is the secret itself.
+		for i := range shares {
+			copy(shares[i].Y, secret)
+		}
+		return shares, nil
+	}
+
+	// random holds coefficients 1..k-1 as contiguous slices of len(secret)
+	// bytes each: coefficient j for secret byte b is random[(j-1)*L+b].
 	random := make([]byte, (k-1)*len(secret))
 	if _, err := io.ReadFull(sp.rand, random); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRandomShortfall, err)
 	}
-	for bi, sb := range secret {
-		coeffs[0] = sb
-		copy(coeffs[1:], random[bi*(k-1):(bi+1)*(k-1)])
-		for si := range shares {
-			shares[si].Y[bi] = gf256.EvalPoly(coeffs, shares[si].X)
+	L := len(secret)
+	top := random[(k-2)*L:]
+	for i := range shares {
+		x := shares[i].X
+		y := shares[i].Y
+		copy(y, top)
+		for j := k - 2; j >= 1; j-- {
+			gf256.MulAddSlice(y, x, random[(j-1)*L:j*L])
 		}
+		gf256.MulAddSlice(y, x, secret)
 	}
 	return shares, nil
+}
+
+// growShares resizes s to length n, reusing its backing array (and the Y
+// buffers of existing elements) when capacity allows.
+func growShares(s []Share, n int) []Share {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]Share, n)
+	copy(out, s[:cap(s)])
+	return out
+}
+
+// growBytes resizes b to length n, reusing its backing array when capacity
+// allows.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
 }
 
 // Combine reconstructs a secret from at least k shares produced by Split
@@ -123,15 +172,31 @@ func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
 // Combine fails if shares disagree on length, duplicate an x-coordinate, or
 // include a zero x-coordinate.
 func Combine(shares []Share) ([]byte, error) {
+	return CombineInto(nil, shares)
+}
+
+// CombineInto is Combine writing the reconstructed secret into dst, which is
+// resized (reusing capacity) to the share length and returned. Passing nil
+// dst allocates the result, which is then this function's only allocation.
+//
+// Reconstruction is block-wise: the Lagrange basis weight at zero
+// w_i = Π_{j≠i} x_j / (x_i + x_j) is computed once per share, and the secret
+// is accumulated as Σ w_i · Y_i with the gf256 scaled-accumulate kernel —
+// algebraically identical to interpolating each byte position separately.
+func CombineInto(dst []byte, shares []Share) ([]byte, error) {
 	if len(shares) == 0 {
 		return nil, ErrTooFewShares
+	}
+	if len(shares) > MaxShares {
+		return nil, fmt.Errorf("%w: %d shares exceeds %d distinct x-coordinates",
+			ErrDuplicateShare, len(shares), MaxShares)
 	}
 	length := len(shares[0].Y)
 	if length == 0 {
 		return nil, ErrMalformedShare
 	}
-	xs := make([]byte, len(shares))
-	seen := make(map[byte]bool, len(shares))
+	var xs [MaxShares]byte
+	var seen [256]bool
 	for i, s := range shares {
 		if s.X == 0 {
 			return nil, ErrZeroCoordinate
@@ -147,15 +212,20 @@ func Combine(shares []Share) ([]byte, error) {
 		xs[i] = s.X
 	}
 
-	secret := make([]byte, length)
-	ys := make([]byte, len(shares))
-	for bi := 0; bi < length; bi++ {
-		for si := range shares {
-			ys[si] = shares[si].Y[bi]
+	dst = growBytes(dst, length)
+	clear(dst)
+	for i := range shares {
+		num, den := byte(1), byte(1)
+		for j := range shares {
+			if i == j {
+				continue
+			}
+			num = gf256.Mul(num, xs[j]) // 0 - x_j == x_j
+			den = gf256.Mul(den, gf256.Sub(xs[i], xs[j]))
 		}
-		secret[bi] = gf256.InterpolateAtZero(xs, ys)
+		gf256.AddMulSlice(dst, shares[i].Y, gf256.Div(num, den))
 	}
-	return secret, nil
+	return dst, nil
 }
 
 // Split is a convenience wrapper using crypto/rand for coefficients.

@@ -1,0 +1,245 @@
+package sharing
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// intoSchemes builds one deterministic instance of every scheme for the
+// given parameters, keyed by name.
+func intoSchemes(t testing.TB) map[string]IntoScheme {
+	t.Helper()
+	auth, err := NewAuthenticated(NewShamir(rand.New(rand.NewSource(3))), []byte("test key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]IntoScheme{
+		"shamir":        NewShamir(rand.New(rand.NewSource(1))),
+		"xor":           NewXOR(rand.New(rand.NewSource(2))),
+		"replication":   Replication{},
+		"blakley":       NewBlakley(rand.New(rand.NewSource(4))),
+		"authenticated": auth,
+		"auto":          NewAuto(rand.New(rand.NewSource(5))),
+	}
+}
+
+// paramsFor returns a valid (k, m) for each scheme name.
+func paramsFor(name string) (k, m int) {
+	switch name {
+	case "xor":
+		return 4, 4
+	case "replication":
+		return 1, 3
+	default:
+		return 3, 5
+	}
+}
+
+// TestSplitIntoRoundTrip checks split → combine through the into path for
+// every scheme, reusing buffers across iterations.
+func TestSplitIntoRoundTrip(t *testing.T) {
+	for name, s := range intoSchemes(t) {
+		t.Run(name, func(t *testing.T) {
+			k, m := paramsFor(name)
+			var shares []Share
+			var dst []byte
+			for round := 0; round < 3; round++ {
+				secret := bytes.Repeat([]byte{byte(round + 1)}, 64+round*13)
+				var err error
+				shares, err = s.SplitSharesInto(secret, k, m, shares)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(shares) != m {
+					t.Fatalf("got %d shares, want %d", len(shares), m)
+				}
+				for i, sh := range shares {
+					if sh.Index != i {
+						t.Fatalf("share %d has index %d", i, sh.Index)
+					}
+				}
+				dst, err = s.CombineInto(dst, shares[m-k:], k, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(dst, secret) {
+					t.Fatalf("round %d: reconstruction mismatch", round)
+				}
+			}
+		})
+	}
+}
+
+// TestSplitIntoMatchesSplit checks the into path and the allocating path
+// produce identical shares from identical randomness.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	for _, name := range []string{"shamir", "xor", "replication", "auto"} {
+		t.Run(name, func(t *testing.T) {
+			k, m := paramsFor(name)
+			secret := []byte("identical across both paths")
+			a := intoSchemes(t)[name]
+			b := intoSchemes(t)[name]
+			split, err := a.Split(secret, k, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			into, err := b.SplitSharesInto(secret, k, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range split {
+				if split[i].Index != into[i].Index || !bytes.Equal(split[i].Data, into[i].Data) {
+					t.Fatalf("share %d differs between Split and SplitSharesInto", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCombineIntoValidation pins duplicate/short/mismatched share rejection
+// on the into path.
+func TestCombineIntoValidation(t *testing.T) {
+	x := NewXOR(rand.New(rand.NewSource(9)))
+	secret := []byte("validate me")
+	shares, err := x.SplitSharesInto(secret, 3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.CombineInto(nil, shares[:2], 3, 3); err == nil {
+		t.Error("too few shares accepted")
+	}
+	dup := []Share{shares[0], shares[0], shares[1]}
+	if _, err := x.CombineInto(nil, dup, 3, 3); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	bad := []Share{shares[0], shares[1], {Index: 2, Data: []byte{1}}}
+	if _, err := x.CombineInto(nil, bad, 3, 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestCombineIntoDetectsForgery checks tag verification on the
+// authenticated into path.
+func TestCombineIntoDetectsForgery(t *testing.T) {
+	auth, err := NewAuthenticated(NewXOR(rand.New(rand.NewSource(6))), []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("authenticated into path")
+	shares, err := auth.SplitSharesInto(secret, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares[1].Data[0] ^= 0xff
+	if _, err := auth.CombineInto(nil, shares, 2, 2); err == nil {
+		t.Error("forged share accepted")
+	}
+}
+
+// TestIntoFallback checks the package-level helpers fall back to the
+// allocating methods for schemes outside this package.
+func TestIntoFallback(t *testing.T) {
+	s := opaqueScheme{inner: NewXOR(rand.New(rand.NewSource(7)))}
+	secret := []byte("fallback")
+	shares, err := SplitInto(s, secret, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CombineInto(s, nil, shares, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Error("fallback roundtrip failed")
+	}
+}
+
+// opaqueScheme hides the into methods to exercise the fallback branch.
+type opaqueScheme struct{ inner *XOR }
+
+// Name implements Scheme.
+func (o opaqueScheme) Name() string { return "opaque" }
+
+// Split implements Scheme.
+func (o opaqueScheme) Split(secret []byte, k, m int) ([]Share, error) {
+	return o.inner.Split(secret, k, m)
+}
+
+// Combine implements Scheme.
+func (o opaqueScheme) Combine(shares []Share, k, m int) ([]byte, error) {
+	return o.inner.Combine(shares, k, m)
+}
+
+// TestSteadyStateAllocs pins the zero-allocation steady state for the
+// replication and XOR fast paths and the O(1) Shamir budget.
+func TestSteadyStateAllocs(t *testing.T) {
+	secret := bytes.Repeat([]byte{0x7e}, 1400)
+	cases := []struct {
+		name     string
+		scheme   IntoScheme
+		k, m     int
+		maxSplit float64
+	}{
+		{"replication", NewAuto(rand.New(rand.NewSource(1))), 1, 3, 0},
+		{"xor", NewAuto(rand.New(rand.NewSource(2))), 3, 3, 0},
+		{"shamir", NewAuto(rand.New(rand.NewSource(3))), 3, 5, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			shares, err := tc.scheme.SplitSharesInto(secret, tc.k, tc.m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				var err error
+				shares, err = tc.scheme.SplitSharesInto(secret, tc.k, tc.m, shares)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > tc.maxSplit {
+				t.Errorf("split allocates %v times per op, want <= %v", allocs, tc.maxSplit)
+			}
+			dst := make([]byte, len(secret))
+			allocs = testing.AllocsPerRun(100, func() {
+				var err error
+				dst, err = tc.scheme.CombineInto(dst, shares[:tc.k], tc.k, tc.m)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("combine allocates %v times per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+func BenchmarkSplitSharesInto(b *testing.B) {
+	secret := bytes.Repeat([]byte{0x7e}, 1400)
+	for _, tc := range []struct {
+		name string
+		k, m int
+	}{
+		{"replication-1of5", 1, 5},
+		{"xor-5of5", 5, 5},
+		{"shamir-3of5", 3, 5},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			scheme := NewAuto(rand.New(rand.NewSource(1)))
+			shares, err := scheme.SplitSharesInto(secret, tc.k, tc.m, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(secret)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if shares, err = scheme.SplitSharesInto(secret, tc.k, tc.m, shares); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

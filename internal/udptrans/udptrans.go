@@ -221,7 +221,8 @@ func (l *Link) Close() error {
 }
 
 // Listener receives share datagrams across several UDP sockets (one per
-// channel) and funnels them, serialized, into a handler.
+// channel) and feeds them into a handler: serialized and copied via Serve,
+// or directly from the per-socket goroutines via ServeConcurrent.
 type Listener struct {
 	conns []*net.UDPConn
 
@@ -285,6 +286,32 @@ func (l *Listener) Serve(handle func(datagram []byte)) {
 				handleMu.Lock()
 				handle(datagram)
 				handleMu.Unlock()
+			}
+		}()
+	}
+}
+
+// ServeConcurrent starts one reader goroutine per socket, invoking handle
+// for each datagram directly from that socket's goroutine with no internal
+// serialization or copying: the slice is reused for the next read, so the
+// handler must not retain it after returning. Intended for handlers that
+// are themselves safe for concurrent use and copy what they keep, such as
+// remicss.Receiver.HandleDatagram — one slow channel then cannot stall
+// ingest from the others. Returns immediately; Close stops the readers and
+// waits for them.
+func (l *Listener) ServeConcurrent(handle func(datagram []byte)) {
+	for _, conn := range l.conns {
+		conn := conn
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			buf := make([]byte, MaxDatagram)
+			for {
+				n, err := conn.Read(buf)
+				if err != nil {
+					return // closed
+				}
+				handle(buf[:n])
 			}
 		}()
 	}

@@ -5,8 +5,10 @@ import (
 	"testing"
 )
 
-// FuzzUnmarshal checks that arbitrary datagrams never panic the parser and
-// that anything it accepts re-marshals to the identical datagram.
+// FuzzUnmarshal checks that arbitrary datagrams never panic the parser,
+// that anything it accepts re-marshals to the identical datagram, and that
+// parsing never writes to its input — the property concurrent receivers
+// sharing one receive buffer depend on.
 func FuzzUnmarshal(f *testing.F) {
 	good, err := Marshal(SharePacket{
 		Seq: 1, K: 2, M: 3, Index: 1, SentAt: 42, Payload: []byte("seed"),
@@ -17,10 +19,22 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize))
+	// Truncation and corruption mutants of the valid seed.
 	f.Add(good[:HeaderSize])
+	f.Add(good[:HeaderSize/2])
+	f.Add(good[:len(good)-1])
+	for _, i := range []int{0, 2, 3, 6, 24, HeaderSize} {
+		mutant := append([]byte(nil), good...)
+		mutant[i] ^= 0x80
+		f.Add(mutant)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		orig := append([]byte(nil), data...)
 		pkt, err := Unmarshal(data)
+		if !bytes.Equal(data, orig) {
+			t.Fatal("Unmarshal mutated its input")
+		}
 		if err != nil {
 			return
 		}
@@ -30,6 +44,35 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if !bytes.Equal(out, data) {
 			t.Fatalf("re-marshal differs from accepted datagram")
+		}
+		// AppendMarshal onto a prefix must reproduce the same bytes after it.
+		prefixed, err := AppendMarshal([]byte{0xde, 0xad}, pkt)
+		if err != nil {
+			t.Fatalf("append re-marshal: %v", err)
+		}
+		if !bytes.Equal(prefixed[2:], data) {
+			t.Fatalf("AppendMarshal differs from Marshal")
+		}
+	})
+}
+
+// FuzzUnmarshalReport checks the report parser never panics, never mutates
+// its input, and round-trips whatever it accepts.
+func FuzzUnmarshalReport(f *testing.F) {
+	f.Add(MarshalReport(ReportPacket{Epoch: 3, Delivered: 10, Evicted: 1, Pending: 4}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, ReportSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		orig := append([]byte(nil), data...)
+		rep, err := UnmarshalReport(data)
+		if !bytes.Equal(data, orig) {
+			t.Fatal("UnmarshalReport mutated its input")
+		}
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(MarshalReport(rep), data) {
+			t.Fatal("re-marshal differs from accepted report")
 		}
 	})
 }

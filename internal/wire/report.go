@@ -59,11 +59,11 @@ func UnmarshalReport(buf []byte) (ReportPacket, error) {
 	if buf[2] != Version {
 		return ReportPacket{}, fmt.Errorf("%w: version %d", ErrBadVersion, buf[2])
 	}
-	sum := binary.BigEndian.Uint32(buf[32:36])
-	binary.BigEndian.PutUint32(buf[32:36], 0)
-	computed := crc32.Checksum(buf, castagnoli)
-	binary.BigEndian.PutUint32(buf[32:36], sum)
-	if sum != computed {
+	// Verify the CRC without patching the buffer: reports may arrive on
+	// shared receive buffers read by concurrent transport goroutines.
+	computed := crc32.Update(0, castagnoli, buf[:32])
+	computed = crc32.Update(computed, castagnoli, zeroCRC[:])
+	if binary.BigEndian.Uint32(buf[32:36]) != computed {
 		return ReportPacket{}, ErrBadChecksum
 	}
 	return ReportPacket{

@@ -82,10 +82,25 @@ func (p SharePacket) Validate() error {
 
 // Marshal serializes the packet. The payload is copied into the result.
 func Marshal(p SharePacket) ([]byte, error) {
+	return AppendMarshal(nil, p)
+}
+
+// AppendMarshal serializes the packet onto dst (which may be nil or a
+// recycled buffer sliced to zero length) and returns the extended slice —
+// the append-style codec discipline that lets a steady-state sender reuse
+// one datagram buffer per send instead of allocating per share.
+func AppendMarshal(dst []byte, p SharePacket) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, HeaderSize+len(p.Payload))
+	off := len(dst)
+	n := HeaderSize + len(p.Payload)
+	if cap(dst)-off >= n {
+		dst = dst[:off+n]
+	} else {
+		dst = append(dst, make([]byte, n)...)
+	}
+	buf := dst[off:]
 	buf[0], buf[1] = magic[0], magic[1]
 	buf[2] = Version
 	buf[3] = p.K
@@ -95,15 +110,33 @@ func Marshal(p SharePacket) ([]byte, error) {
 	binary.BigEndian.PutUint64(buf[8:16], p.Seq)
 	binary.BigEndian.PutUint64(buf[16:24], uint64(p.SentAt))
 	copy(buf[HeaderSize:], p.Payload)
-	// Checksum over the whole datagram with the checksum field zeroed.
+	// Checksum over the whole datagram with the checksum field zeroed; a
+	// recycled dst may carry stale bytes there.
 	binary.BigEndian.PutUint32(buf[24:28], 0)
 	sum := crc32.Checksum(buf, castagnoli)
 	binary.BigEndian.PutUint32(buf[24:28], sum)
-	return buf, nil
+	return dst, nil
 }
 
-// Unmarshal parses and verifies a datagram. The returned packet's payload
-// aliases the input buffer; callers that retain it must copy.
+// zeroCRC substitutes for the checksum field when computing a datagram CRC
+// without writing to the buffer. Package-level because a stack array passed
+// to crc32's assembly kernels is forced to the heap.
+var zeroCRC [4]byte
+
+// checksum computes the datagram CRC as if bytes 24:28 were zero, without
+// writing to buf — Unmarshal must not mutate its input, which may be shared
+// with concurrent readers.
+func checksum(buf []byte) uint32 {
+	sum := crc32.Update(0, castagnoli, buf[:24])
+	sum = crc32.Update(sum, castagnoli, zeroCRC[:])
+	return crc32.Update(sum, castagnoli, buf[28:])
+}
+
+// Unmarshal parses and verifies a datagram. The input is strictly read-only
+// (checksum verification reconstructs the zeroed-field CRC incrementally
+// rather than patching the buffer), so concurrent receivers may parse
+// buffers they do not own. The returned packet's payload aliases the input;
+// callers that retain it must copy.
 func Unmarshal(buf []byte) (SharePacket, error) {
 	if len(buf) < HeaderSize {
 		return SharePacket{}, fmt.Errorf("%w: %d bytes", ErrTooShort, len(buf))
@@ -119,11 +152,7 @@ func Unmarshal(buf []byte) (SharePacket, error) {
 		return SharePacket{}, fmt.Errorf("%w: header says %d, datagram carries %d",
 			ErrBadLength, payloadLen, len(buf)-HeaderSize)
 	}
-	sum := binary.BigEndian.Uint32(buf[24:28])
-	binary.BigEndian.PutUint32(buf[24:28], 0)
-	computed := crc32.Checksum(buf, castagnoli)
-	binary.BigEndian.PutUint32(buf[24:28], sum)
-	if sum != computed {
+	if binary.BigEndian.Uint32(buf[24:28]) != checksum(buf) {
 		return SharePacket{}, ErrBadChecksum
 	}
 	p := SharePacket{

@@ -99,7 +99,8 @@ func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
 
 // Send transmits one message (up to ~64 KiB minus headers) as a single
 // protocol symbol. It retries briefly on backpressure and returns
-// ErrBackpressure if the channels stay saturated.
+// ErrBackpressure if the channels stay saturated. Safe to call from
+// multiple goroutines; the sender serializes symbols internally.
 func (c *Client) Send(payload []byte) error {
 	const (
 		retries = 50
@@ -107,12 +108,12 @@ func (c *Client) Send(payload []byte) error {
 	)
 	for attempt := 0; attempt < retries; attempt++ {
 		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
 			return ErrClosed
 		}
 		err := c.sender.Send(payload)
-		c.mu.Unlock()
 		if err == nil {
 			return nil
 		}
@@ -128,11 +129,7 @@ func (c *Client) Send(payload []byte) error {
 var ErrClosed = errors.New("remicss: session closed")
 
 // Stats returns the sender counters.
-func (c *Client) Stats() SenderStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sender.Stats()
-}
+func (c *Client) Stats() SenderStats { return c.sender.Stats() }
 
 // Close releases the channel sockets.
 func (c *Client) Close() error {
@@ -154,13 +151,14 @@ func (c *Client) Close() error {
 // Server is the receiving half of a UDP session.
 type Server struct {
 	listener *UDPListener
-	mu       sync.Mutex
 	receiver *Receiver
 }
 
 // Serve binds one UDP socket per address (port 0 picks free ports) and
-// delivers reconstructed messages to onMessage, in arrival order, from a
-// single goroutine at a time.
+// delivers reconstructed messages to onMessage. Each channel socket feeds
+// the receiver from its own goroutine (the receiver serializes ingest
+// internally), so deliveries arrive one at a time in reconstruction order;
+// onMessage owns the payload it is handed.
 func Serve(addrs []string, cfg SessionConfig, onMessage func(seq uint64, payload []byte, delay time.Duration)) (*Server, error) {
 	if onMessage == nil {
 		return nil, errors.New("remicss: nil message callback")
@@ -184,11 +182,10 @@ func Serve(addrs []string, cfg SessionConfig, onMessage func(seq uint64, payload
 		return nil, err
 	}
 	s := &Server{listener: listener, receiver: receiver}
-	listener.Serve(func(datagram []byte) {
-		s.mu.Lock()
-		s.receiver.HandleDatagram(datagram)
-		s.mu.Unlock()
-	})
+	// HandleDatagram only reads the buffer during the call, which is
+	// exactly ServeConcurrent's reuse contract — no per-datagram copy or
+	// cross-channel serialization in the transport.
+	listener.ServeConcurrent(receiver.HandleDatagram)
 	return s, nil
 }
 
@@ -196,11 +193,7 @@ func Serve(addrs []string, cfg SessionConfig, onMessage func(seq uint64, payload
 func (s *Server) Addrs() []string { return s.listener.Addrs() }
 
 // Stats returns the receiver counters.
-func (s *Server) Stats() ReceiverStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.receiver.Stats()
-}
+func (s *Server) Stats() ReceiverStats { return s.receiver.Stats() }
 
 // Close shuts the channel sockets down and stops the reader goroutines.
 func (s *Server) Close() error { return s.listener.Close() }

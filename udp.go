@@ -11,8 +11,8 @@ import (
 // pacing. It satisfies Link.
 type UDPLink = udptrans.Link
 
-// UDPListener receives shares across several UDP sockets and funnels them,
-// serialized, into a handler.
+// UDPListener receives shares across several UDP sockets and feeds them
+// into a handler — serialized (Serve) or concurrently (ServeConcurrent).
 type UDPListener = udptrans.Listener
 
 // WallClock is the clock both ends of a UDP session should pass as
