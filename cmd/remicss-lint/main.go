@@ -1,0 +1,75 @@
+// Command remicss-lint runs the repository's invariant analyzers
+// (internal/lint) over Go packages and reports violations.
+//
+// Usage:
+//
+//	go run ./cmd/remicss-lint [-C dir] [-json] [packages ...]
+//
+// Packages default to ./... resolved in -C dir (default "."). Diagnostics
+// print one per line as file:line:col: [analyzer] message, or as a JSON
+// array with -json. Exit status is 0 when the tree is clean, 1 when any
+// diagnostic is reported, and 2 on loader or usage errors — which makes the
+// command usable directly as a required CI step.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"remicss/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses flags, loads the requested
+// packages, runs the default analyzer suite, and renders diagnostics.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("remicss-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	dir := fs.String("C", ".", "resolve package patterns relative to this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	mod, err := lint.ModulePath(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := lint.Run(pkgs, lint.DefaultAnalyzers(mod))
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"remicss/internal/lint"
+)
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// writeDirtyModule lays out a throwaway module whose root package (which
+// DefaultAnalyzers treats as secret-bearing) imports math/rand and leaks it
+// through an io.Reader return.
+func writeDirtyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module lintfixture\n\ngo 1.22\n",
+		"fixture.go": `// Package lintfixture is a throwaway lint target.
+package lintfixture
+
+import (
+	"io"
+	"math/rand"
+)
+
+// Entropy returns a seeded randomness source.
+func Entropy(seed int64) io.Reader {
+	return rand.New(rand.NewSource(seed))
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunCleanModule asserts the real repository lints clean with exit 0 —
+// the acceptance gate for the annotation sweep.
+func TestRunCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-list-backed lint run in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", moduleRoot(t), "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestRunDirtyModule asserts violations produce exit 1 with file:line text
+// diagnostics.
+func TestRunDirtyModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-list-backed lint run in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", writeDirtyModule(t), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[insecure-rand]") || !strings.Contains(out, "fixture.go:") {
+		t.Errorf("diagnostics missing analyzer tag or file position:\n%s", out)
+	}
+}
+
+// TestRunJSON asserts -json output decodes into []lint.Diagnostic.
+func TestRunJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-list-backed lint run in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", writeDirtyModule(t), "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics decoded from -json output")
+	}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestRunBadFlag asserts usage errors exit 2.
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(99))
-	scheme := remicss.NewSharingScheme(rng)
+	scheme := remicss.NewSharingScheme(rng) //lint:allow insecure-rand example deliberately uses a seeded rng so its output is reproducible
 
 	// (a) Information-theoretic secrecy, concretely: split a very
 	// non-random message and look at what one share of a 2-of-3 split

@@ -64,7 +64,7 @@ func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
 func RunAdaptive(cfg AdaptiveConfig) ([]AdaptiveEpoch, error) {
 	cfg = cfg.withDefaults()
 	eng := netem.NewEngine()
-	scheme := sharing.NewAuto(rand.New(rand.NewSource(cfg.Seed)))
+	scheme := sharing.NewAuto(rand.New(rand.NewSource(cfg.Seed))) //lint:allow insecure-rand benchmark runs must be reproducible from cfg.Seed
 
 	delivered := 0
 	recv, err := remicss.NewReceiver(remicss.ReceiverConfig{

@@ -156,7 +156,7 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	eng := netem.NewEngine()
-	scheme := sharing.NewAuto(rand.New(rand.NewSource(cfg.Seed)))
+	scheme := sharing.NewAuto(rand.New(rand.NewSource(cfg.Seed))) //lint:allow insecure-rand benchmark runs must be reproducible from cfg.Seed
 
 	var (
 		delivered int64

@@ -32,6 +32,8 @@ func init() {
 
 // MulSlice sets dst[i] = c * src[i] for every i. dst and src may be the
 // same slice (in-place scaling); partial overlap is not supported.
+//
+//remicss:noalloc
 func MulSlice(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulSlice length mismatch")
@@ -53,6 +55,8 @@ func MulSlice(dst, src []byte, c byte) {
 // AddMulSlice accumulates dst[i] ^= c * src[i] for every i — the
 // scaled-accumulate step of Lagrange reconstruction (secret += w_i · Y_i).
 // dst and src must not overlap.
+//
+//remicss:noalloc
 func AddMulSlice(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf256: AddMulSlice length mismatch")
@@ -74,6 +78,8 @@ func AddMulSlice(dst, src []byte, c byte) {
 // for every i. Iterated from the highest-degree coefficient slice down to
 // the constant term, it evaluates len(acc) polynomials at x in parallel.
 // acc and coeff must not overlap.
+//
+//remicss:noalloc
 func MulAddSlice(acc []byte, x byte, coeff []byte) {
 	if len(acc) != len(coeff) {
 		panic("gf256: MulAddSlice length mismatch")
@@ -91,6 +97,8 @@ func MulAddSlice(acc []byte, x byte, coeff []byte) {
 // AddSlice accumulates dst[i] ^= src[i] for every i (field addition is XOR).
 // The loop is written over 8-byte words where possible; dst and src must not
 // partially overlap (dst == src zeroes dst, which is correct but useless).
+//
+//remicss:noalloc
 func AddSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: AddSlice length mismatch")

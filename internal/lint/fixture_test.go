@@ -1,0 +1,136 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"remicss/internal/lint"
+)
+
+// wantRe pulls the backtick-quoted expectation regexes out of a comment
+// containing "want `...` `...`".
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// collectWants scans a fixture package's comments for want expectations and
+// returns them keyed by "file:line".
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				idx := strings.Index(c.Text, "want `")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one testdata/src package, runs the analyzers over it, and
+// checks the diagnostics against the fixture's want comments in both
+// directions: every want must be matched by a diagnostic on its line, and
+// every diagnostic must be claimed by a want.
+func runFixture(t *testing.T, name string, analyzers []*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, analyzers)
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		matched := -1
+		for i, re := range wants[key] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: no diagnostic matching %q", key, re)
+		}
+	}
+}
+
+func TestInsecureRandFixture(t *testing.T) {
+	runFixture(t, "insecurerand", []*lint.Analyzer{
+		lint.InsecureRandAnalyzer(map[string]bool{"insecurerand": true}),
+	})
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	runFixture(t, "noalloc", []*lint.Analyzer{lint.NoAllocAnalyzer()})
+}
+
+func TestMutexGuardFixture(t *testing.T) {
+	runFixture(t, "mutexguard", []*lint.Analyzer{lint.MutexGuardAnalyzer()})
+}
+
+func TestNoRetainFixture(t *testing.T) {
+	runFixture(t, "noretain", []*lint.Analyzer{lint.NoRetainAnalyzer()})
+}
+
+func TestReadOnlyInputFixture(t *testing.T) {
+	runFixture(t, "readonlyinput", []*lint.Analyzer{lint.ReadOnlyInputAnalyzer()})
+}
+
+// TestDirectiveValidation checks that malformed //lint:allow directives are
+// themselves diagnostics and do not suppress anything.
+func TestDirectiveValidation(t *testing.T) {
+	pkg, err := lint.LoadDir(filepath.Join("testdata", "src", "directive"))
+	if err != nil {
+		t.Fatalf("loading fixture directive: %v", err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.NoAllocAnalyzer()})
+
+	expect := []struct {
+		analyzer string
+		pattern  string
+	}{
+		{"directive", "no justification"},
+		{"directive", `unknown analyzer "nosuchcheck"`},
+		{"directive", "names no analyzer"},
+		// The reasonless directive must not have suppressed the make it
+		// annotates.
+		{"noalloc", "make in noalloc function noReason allocates"},
+	}
+	for _, want := range expect {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == want.analyzer && strings.Contains(d.Message, want.pattern) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no [%s] diagnostic containing %q in %v", want.analyzer, want.pattern, diags)
+		}
+	}
+	if len(diags) != len(expect) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(diags), len(expect), diags)
+	}
+}

@@ -1,0 +1,316 @@
+// Package lint is a small static-analysis framework, built only on the
+// standard library's go/ast, go/parser, and go/types, that mechanically
+// enforces the repository's data-path and secrecy invariants:
+//
+//   - insecure-rand: secret-bearing packages must not import math/rand, and
+//     math/rand values must never flow into an io.Reader-shaped randomness
+//     slot (the way every sharing scheme consumes entropy).
+//   - noalloc: functions annotated //remicss:noalloc must not contain
+//     allocating constructs (make, new, slice/map literals, closures,
+//     interface boxing, string concatenation, append to a foreign buffer).
+//   - mutexguard: struct fields annotated "guarded by mu" may only be
+//     touched after the guarding mutex is locked in the same function.
+//   - noretain: Link.Send / datagram-ingest implementations must not retain
+//     their []byte argument (or a subslice of it) beyond the call.
+//   - readonly-input: Unmarshal-shaped functions must not write through
+//     their input slice.
+//
+// Every diagnostic can be suppressed with an explicit, justified annotation:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line, on the line directly above it, or in a
+// function's doc comment (which suppresses the analyzer for the whole
+// function). The reason is mandatory; a directive without one is itself a
+// diagnostic. This keeps every exception to an invariant written down next
+// to the code that needs it.
+//
+// The framework favors simple, local reasoning over whole-program precision:
+// analyzers are syntactic and type-based, do not follow calls, and
+// approximate "on all paths" by "textually before". False negatives across
+// function boundaries are accepted; false positives are kept near zero so
+// the suite can run as a required CI step (see cmd/remicss-lint).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check that runs over a type-checked
+// package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run inspects the package behind the pass and reports violations.
+	Run func(*Pass)
+}
+
+// Pass is one analyzer's view of one package: the syntax trees, the type
+// information, and a sink for diagnostics.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression, definition, use, and
+	// selection records for Files.
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the type checker did not record
+// one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Diagnostic is one reported invariant violation, positioned at file:line.
+type Diagnostic struct {
+	// Analyzer names the check that produced the diagnostic.
+	Analyzer string `json:"analyzer"`
+	// File is the source file path as loaded.
+	File string `json:"file"`
+	// Line and Column locate the violation (1-based).
+	Line int `json:"line"`
+	// Column is the 1-based column of the violation.
+	Column int `json:"column"`
+	// Message describes the violation and how to fix or suppress it.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics (those not suppressed by a //lint:allow directive), sorted by
+// position. Malformed directives — unknown analyzer name or missing reason —
+// are themselves reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			a.Run(pass)
+		}
+		sup := collectSuppressions(pkg, known)
+		out = append(out, sup.invalid...)
+		for _, d := range raw {
+			if !sup.allows(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowDirective is the comment prefix that suppresses a diagnostic.
+const allowDirective = "//lint:allow"
+
+// parseAllow splits a comment into an allow directive's analyzer name and
+// justification. ok is false for comments that are not directives at all.
+func parseAllow(text string) (analyzer, reason string, ok bool) {
+	if !strings.HasPrefix(text, allowDirective) {
+		return "", "", false
+	}
+	rest := text[len(allowDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false // e.g. //lint:allowance
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true
+	}
+	analyzer = fields[0]
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), analyzer))
+	return analyzer, reason, true
+}
+
+// suppressions indexes //lint:allow directives: exact suppressed lines per
+// analyzer and file, plus diagnostics for malformed directives.
+type suppressions struct {
+	// lines[analyzer][file] is the set of suppressed line numbers.
+	lines   map[string]map[string]map[int]bool
+	invalid []Diagnostic
+}
+
+func (s *suppressions) add(analyzer, file string, from, to int) {
+	byFile := s.lines[analyzer]
+	if byFile == nil {
+		byFile = make(map[string]map[int]bool)
+		s.lines[analyzer] = byFile
+	}
+	set := byFile[file]
+	if set == nil {
+		set = make(map[int]bool)
+		byFile[file] = set
+	}
+	for l := from; l <= to; l++ {
+		set[l] = true
+	}
+}
+
+func (s *suppressions) allows(d Diagnostic) bool {
+	return s.lines[d.Analyzer][d.File][d.Line]
+}
+
+// collectSuppressions gathers every allow directive in the package. A
+// directive in a function's doc comment suppresses the analyzer across the
+// whole function body; any other directive suppresses its own line and the
+// line below (so it works both as a trailing comment and as a comment above
+// the offending statement).
+func collectSuppressions(pkg *Package, known map[string]bool) *suppressions {
+	sup := &suppressions{lines: make(map[string]map[string]map[int]bool)}
+	consumed := make(map[*ast.Comment]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				analyzer, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				consumed[c] = true
+				if bad := validateAllow(pkg, c, analyzer, reason, known); bad != nil {
+					sup.invalid = append(sup.invalid, *bad)
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos()).Line
+				end := pkg.Fset.Position(fd.End()).Line
+				sup.add(analyzer, pkg.Fset.Position(c.Pos()).Filename, start, end)
+			}
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if consumed[c] {
+					continue
+				}
+				analyzer, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				if bad := validateAllow(pkg, c, analyzer, reason, known); bad != nil {
+					sup.invalid = append(sup.invalid, *bad)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				sup.add(analyzer, pos.Filename, pos.Line, pos.Line+1)
+			}
+		}
+	}
+	return sup
+}
+
+// validateAllow checks a parsed directive and returns a diagnostic when it
+// names an unknown analyzer or omits the mandatory justification.
+func validateAllow(pkg *Package, c *ast.Comment, analyzer, reason string, known map[string]bool) *Diagnostic {
+	pos := pkg.Fset.Position(c.Pos())
+	bad := func(msg string) *Diagnostic {
+		return &Diagnostic{
+			Analyzer: "directive",
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  msg,
+		}
+	}
+	if analyzer == "" {
+		return bad("lint:allow directive names no analyzer")
+	}
+	if !known[analyzer] {
+		return bad(fmt.Sprintf("lint:allow directive names unknown analyzer %q", analyzer))
+	}
+	if reason == "" {
+		return bad(fmt.Sprintf("lint:allow %s directive has no justification; write down why the invariant does not apply", analyzer))
+	}
+	return nil
+}
+
+// hasMarker reports whether a doc comment contains the //remicss:<name>
+// machine-readable marker line.
+func hasMarker(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	marker := "//remicss:" + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedRe extracts the mutex field name from a "guarded by <field>" field
+// annotation.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardAnnotation returns the guarding field named by a field's doc or
+// trailing comment, or "" when the field carries no annotation.
+func guardAnnotation(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}

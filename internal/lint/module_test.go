@@ -1,0 +1,51 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"remicss/internal/lint"
+)
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestModuleIsClean runs the full analyzer suite over the real module and
+// requires zero diagnostics — the same gate CI applies via
+// cmd/remicss-lint. Every invariant exception in the tree must carry a
+// justified //lint:allow annotation for this to pass.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-list-backed module lint in -short mode")
+	}
+	root := moduleRoot(t)
+	mod, err := lint.ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.DefaultAnalyzers(mod))
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

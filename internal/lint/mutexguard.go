@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexGuardAnalyzer enforces "guarded by <mu>" field annotations: a struct
+// field carrying the annotation (in its doc or trailing comment) may only
+// be read or written after the named sibling mutex has been locked earlier
+// in the same function.
+//
+// The check is deliberately local and flow-insensitive: "locked on all
+// paths" is approximated by "a <recv>.<mu>.Lock() or RLock() call appears
+// textually before the access in the same function body" (the
+// lock-at-entry / defer-unlock discipline used throughout this repository
+// satisfies it trivially). Internal helpers that run with the lock already
+// held by their callers must say so with //lint:allow mutexguard <reason>
+// in their doc comment, which both suppresses the diagnostic and documents
+// the calling convention.
+func MutexGuardAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "mutexguard",
+		Doc:  "fields annotated 'guarded by mu' must only be accessed under the guarding mutex",
+	}
+	a.Run = func(pass *Pass) {
+		guards := collectGuards(pass)
+		if len(guards) == 0 {
+			return
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkGuardedAccesses(pass, fd, guards)
+			}
+		}
+	}
+	return a
+}
+
+// collectGuards maps each annotated field object to the mutex field object
+// that guards it, reporting annotations that name a nonexistent sibling.
+func collectGuards(pass *Pass) map[types.Object]types.Object {
+	guards := make(map[types.Object]types.Object)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// First index every field object by name, then resolve the
+			// guard annotations against that index.
+			byName := make(map[string]types.Object)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						byName[name.Name] = obj
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				muName := guardAnnotation(field)
+				if muName == "" {
+					continue
+				}
+				mu, ok := byName[muName]
+				if !ok {
+					pass.Reportf(field.Pos(), "field is annotated 'guarded by %s' but struct %s has no field of that name", muName, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// checkGuardedAccesses flags guarded-field selections in fd that are not
+// preceded by a lock of the guarding mutex.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guards map[types.Object]types.Object) {
+	// locks[mu] is the earliest position at which mu is locked in this
+	// function (including inside nested closures — the approximation
+	// already gives up path sensitivity).
+	locks := make(map[types.Object]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if selection, ok := pass.Info.Selections[muSel]; ok && selection.Kind() == types.FieldVal {
+			mu := selection.Obj()
+			if prev, seen := locks[mu]; !seen || call.Pos() < prev {
+				locks[mu] = call.Pos()
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field := selection.Obj()
+		mu, guarded := guards[field]
+		if !guarded {
+			return true
+		}
+		lockPos, locked := locks[mu]
+		if !locked || sel.Pos() < lockPos {
+			pass.Reportf(sel.Pos(),
+				"field %s is guarded by %s but %s accesses it without locking (lock first, or annotate the function //lint:allow mutexguard <reason> if callers hold the lock)",
+				field.Name(), mu.Name(), fd.Name.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,25 @@
+// Package directive holds malformed //lint:allow directives; the framework
+// must report each one instead of silently suppressing. Expectations are
+// asserted programmatically (TestDirectiveValidation), not via want
+// comments, because the directive under test occupies the comment slot.
+package directive
+
+// noReason omits the mandatory justification.
+//
+//remicss:noalloc
+func noReason(n int) []byte {
+	//lint:allow noalloc
+	return make([]byte, n)
+}
+
+// unknownAnalyzer names a check that does not exist.
+func unknownAnalyzer() {
+	//lint:allow nosuchcheck because it does not exist
+	_ = 0
+}
+
+// noAnalyzer names nothing at all.
+func noAnalyzer() {
+	//lint:allow
+	_ = 0
+}

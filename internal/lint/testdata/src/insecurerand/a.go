@@ -1,0 +1,30 @@
+// Package insecurerand exercises the insecure-rand analyzer: both the
+// secret-package import ban and the flow of math/rand values into
+// io.Reader-shaped randomness slots.
+package insecurerand
+
+import (
+	"io"
+	"math/rand" // want `import of math/rand in secret-bearing package`
+)
+
+// consume stands in for a sharing-scheme constructor drawing entropy.
+func consume(r io.Reader) { _ = r }
+
+// source is a struct with a Reader-shaped randomness slot.
+type source struct {
+	rng io.Reader
+}
+
+// flows routes a seeded rng into Reader slots every way the analyzer
+// tracks: call argument, plain assignment, composite literal, and return.
+func flows(seed int64) io.Reader {
+	rng := rand.New(rand.NewSource(seed))
+	consume(rng) // want `math/rand value .* flows into randomness slot`
+	var r io.Reader
+	r = rng // want `math/rand value .* flows into randomness slot`
+	_ = r
+	s := source{rng: rng} // want `math/rand value .* flows into randomness slot`
+	_ = s
+	return rng // want `math/rand value .* flows into randomness slot`
+}

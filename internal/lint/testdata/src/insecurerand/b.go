@@ -1,0 +1,20 @@
+// b.go holds the suppressed and clean halves of the insecure-rand fixture.
+package insecurerand
+
+import (
+	crand "crypto/rand"
+
+	mrand "math/rand" //lint:allow insecure-rand fixture documents a justified deterministic import
+)
+
+// simulate uses seeded randomness deliberately and says so.
+func simulate(seed int64) {
+	rng := mrand.New(mrand.NewSource(seed))
+	//lint:allow insecure-rand deterministic simulation fixture
+	consume(rng)
+}
+
+// clean draws from crypto/rand, as the secrecy contract requires.
+func clean() {
+	consume(crand.Reader)
+}

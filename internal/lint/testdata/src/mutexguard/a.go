@@ -1,0 +1,52 @@
+// Package mutexguard exercises the mutexguard analyzer: unlocked and
+// access-before-lock violations, the locked and callers-hold-mu clean
+// cases, and annotation validation.
+package mutexguard
+
+import "sync"
+
+// counter has a field guarded by its mutex.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// bad reads n without ever locking.
+func (c *counter) bad() int {
+	return c.n // want `field n is guarded by mu but bad accesses it without locking`
+}
+
+// early touches n before taking the lock.
+func (c *counter) early() int {
+	v := c.n // want `field n is guarded by mu but early accesses it without locking`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v + c.n
+}
+
+// good locks before every access.
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// helper runs with the lock already held by its callers.
+//
+//lint:allow mutexguard callers hold mu
+func (c *counter) helper() int {
+	return c.n
+}
+
+// typo carries an annotation naming a field the struct does not have.
+type typo struct {
+	n int // guarded by mux; want `annotated 'guarded by mux' but struct typo has no field of that name`
+}
+
+// use keeps the fixture types and methods referenced.
+func use() int {
+	var c counter
+	var t typo
+	return c.bad() + c.early() + c.good() + c.helper() + t.n
+}

@@ -1,0 +1,77 @@
+// Package noalloc exercises the noalloc analyzer: every allocating
+// construct it flags, the self-append exemption, the //lint:allow escape
+// hatch, and a clean zero-allocation function.
+package noalloc
+
+// point is a value type used by the escape case.
+type point struct{ x, y int }
+
+// hot collects the core allocating constructs.
+//
+//remicss:noalloc
+func hot(dst, src []byte, n int) []byte {
+	buf := make([]byte, n) // want `make in noalloc function hot allocates`
+	_ = buf
+	p := new(int) // want `new in noalloc function hot allocates`
+	_ = p
+	s := []int{1, 2, 3} // want `slice literal in noalloc function hot allocates`
+	_ = s
+	m := map[int]int{} // want `map literal in noalloc function hot allocates`
+	_ = m
+	f := func() {} // want `function literal in noalloc function hot`
+	_ = f
+	dst = append(dst[:0], src...)
+	other := append(src, 0) // want `append in noalloc function hot grows a buffer`
+	_ = other
+	return dst
+}
+
+// spawn starts a goroutine from a noalloc context.
+//
+//remicss:noalloc
+func spawn() {
+	go spin() // want `go statement in noalloc function spawn`
+}
+
+// spin is the goroutine body for spawn.
+func spin() {}
+
+// strcat exercises string concatenation and string/slice conversions.
+//
+//remicss:noalloc
+func strcat(a, b string) []byte {
+	c := a + b // want `string concatenation in noalloc function strcat`
+	_ = c
+	return []byte(a) // want `string/slice conversion in noalloc function strcat`
+}
+
+// box returns a non-pointer value through an interface result.
+//
+//remicss:noalloc
+func box(x int) any {
+	return x // want `boxed into interface`
+}
+
+// escape returns a pointer to a composite literal.
+//
+//remicss:noalloc
+func escape() *point {
+	return &point{} // want `&composite literal in noalloc function escape`
+}
+
+// grow documents an amortized growth path with a justified allow.
+//
+//remicss:noalloc
+func grow(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n) //lint:allow noalloc amortized growth path; steady state reuses dst
+	}
+	return dst[:n]
+}
+
+// clean copies between caller-owned buffers without allocating.
+//
+//remicss:noalloc
+func clean(dst, src []byte) int {
+	return copy(dst, src)
+}

@@ -1,0 +1,67 @@
+// Package noretain exercises the noretain analyzer: field, channel, pool,
+// composite-literal, and closure retention of a Send/HandleDatagram
+// argument, plus the suppressed and clean implementations.
+package noretain
+
+import "sync"
+
+// sink retains datagrams every way the analyzer tracks.
+type sink struct {
+	last []byte
+	ch   chan []byte
+	pool sync.Pool
+}
+
+// Send matches the Link shape and retains its argument.
+func (s *sink) Send(datagram []byte) bool {
+	s.last = datagram // want `stores the datagram \(or a subslice\) into s\.last`
+	alias := datagram[2:]
+	s.last = alias           // want `stores the datagram \(or a subslice\) into s\.last`
+	s.ch <- datagram         // want `sends the datagram into a channel`
+	s.pool.Put(datagram[:4]) // want `puts the datagram into a sync.Pool`
+	return true
+}
+
+// HandleDatagram captures the buffer in a closure that outlives the call.
+func (s *sink) HandleDatagram(buf []byte) {
+	go func() { // want `closure in HandleDatagram captures the datagram`
+		s.last = buf
+	}()
+}
+
+// record carries a payload slice.
+type record struct{ payload []byte }
+
+// keep is checked via the marker annotation and retains through a
+// composite literal.
+//
+//remicss:noretain
+func keep(buf []byte) record {
+	return record{payload: buf} // want `stores the datagram into a composite literal`
+}
+
+// queueLink retains deliberately, with the justification written down.
+type queueLink struct {
+	q chan []byte
+}
+
+// Send enqueues the datagram for a consumer that owns it afterwards.
+//
+//lint:allow noretain fixture documents a transport that takes ownership of the buffer
+func (l *queueLink) Send(datagram []byte) bool {
+	l.q <- datagram
+	return true
+}
+
+// copyLink copies before retaining, as the contract requires.
+type copyLink struct {
+	buf []byte
+}
+
+// Send copies the datagram into the link's own buffer.
+func (l *copyLink) Send(datagram []byte) bool {
+	view := datagram[:2]
+	_ = view
+	l.buf = append(l.buf[:0], datagram...)
+	return len(l.buf) > 0
+}

@@ -100,7 +100,7 @@ func NewSession(cfg Config) (*Session, error) {
 	s := &Session{
 		eng:      netem.NewEngine(),
 		cfg:      cfg,
-		scheme:   sharing.NewXOR(rand.New(rand.NewSource(cfg.Seed))),
+		scheme:   sharing.NewXOR(rand.New(rand.NewSource(cfg.Seed))), //lint:allow insecure-rand deterministic simulation baseline needs reproducible pads
 		inFlight: make(map[uint64]*symbolState),
 		n:        len(cfg.Links),
 	}

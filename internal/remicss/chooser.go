@@ -3,7 +3,7 @@ package remicss
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand" //lint:allow insecure-rand the chooser dithers share placement only; it never touches share material
 	"time"
 
 	"remicss/internal/core"
@@ -82,6 +82,8 @@ func NewDynamicChooser(kappa, mu float64, rng *rand.Rand, opts ...DynamicOption)
 }
 
 // Choose implements Chooser.
+//
+//remicss:noalloc
 func (c *DynamicChooser) Choose(links []Link) (int, uint32, bool) {
 	if !c.pendingValid {
 		// Comonotone dither: the same uniform drives both roundings, so

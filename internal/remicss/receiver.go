@@ -72,16 +72,16 @@ type Receiver struct {
 	cfg ReceiverConfig
 
 	mu    sync.Mutex
-	stats ReceiverStats
+	stats ReceiverStats // guarded by mu
 
 	// pending maps seq -> reassembly entry; order tracks insertion order
 	// for timeout scans and memory-pressure eviction (oldest first).
-	pending map[uint64]*list.Element
-	order   *list.List
+	pending map[uint64]*list.Element // guarded by mu
+	order   *list.List               // guarded by mu
 
 	// Feedback report state (see feedback.go).
-	reportEpoch uint64
-	lastReport  ReceiverStats
+	reportEpoch uint64        // guarded by mu
+	lastReport  ReceiverStats // guarded by mu
 }
 
 // entry is one symbol being reassembled. A delivered symbol keeps a
@@ -247,8 +247,9 @@ func (r *Receiver) Tick() {
 	r.evictExpired(r.cfg.Clock())
 }
 
-// evictExpired drops entries older than the timeout (oldest first);
-// callers hold mu.
+// evictExpired drops entries older than the timeout (oldest first).
+//
+//lint:allow mutexguard callers hold mu
 func (r *Receiver) evictExpired(now time.Duration) {
 	for {
 		front := r.order.Front()
@@ -263,7 +264,9 @@ func (r *Receiver) evictExpired(now time.Duration) {
 	}
 }
 
-// admit makes room for a new entry under the memory cap; callers hold mu.
+// admit makes room for a new entry under the memory cap.
+//
+//lint:allow mutexguard callers hold mu
 func (r *Receiver) admit() {
 	for r.order.Len() >= r.cfg.MaxPending {
 		front := r.order.Front()
@@ -272,6 +275,9 @@ func (r *Receiver) admit() {
 	}
 }
 
+// drop removes one reassembly entry and recycles it.
+//
+//lint:allow mutexguard callers hold mu
 func (r *Receiver) drop(elem *list.Element, e *entry) {
 	r.order.Remove(elem)
 	delete(r.pending, e.seq)

@@ -48,13 +48,13 @@ type Sender struct {
 	links []Link
 
 	mu    sync.Mutex
-	seq   uint64
-	stats SenderStats
+	seq   uint64      // guarded by mu
+	stats SenderStats // guarded by mu
 	// shares and dgram are Send scratch, reused across calls: shares
 	// holds the split output (share payload buffers are recycled by the
 	// scheme's into path), dgram holds one marshaled datagram at a time.
-	shares []sharing.Share
-	dgram  []byte
+	shares []sharing.Share // guarded by mu
+	dgram  []byte          // guarded by mu
 }
 
 // NewSender builds a sender over the given links.
@@ -88,6 +88,8 @@ func (s *Sender) Stats() SenderStats {
 // channel subset is currently available (the symbol is not queued anywhere;
 // best-effort semantics), or a split/encoding error. Safe to call from
 // multiple goroutines; symbols are sequenced in lock-acquisition order.
+//
+//remicss:noalloc
 func (s *Sender) Send(payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

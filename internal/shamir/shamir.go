@@ -102,6 +102,8 @@ func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
 // polynomial family as the byte-wise code it replaced (the coefficients are
 // merely drawn in coefficient-major rather than byte-major order) and
 // several times faster.
+//
+//remicss:noalloc
 func (sp *Splitter) SplitInto(secret []byte, k, m int, shares []Share) ([]Share, error) {
 	if k < 1 || m < k || m > MaxShares {
 		return nil, fmt.Errorf("%w: k=%d, m=%d", ErrInvalidParams, k, m)
@@ -126,7 +128,7 @@ func (sp *Splitter) SplitInto(secret []byte, k, m int, shares []Share) ([]Share,
 
 	// random holds coefficients 1..k-1 as contiguous slices of len(secret)
 	// bytes each: coefficient j for secret byte b is random[(j-1)*L+b].
-	random := make([]byte, (k-1)*len(secret))
+	random := make([]byte, (k-1)*len(secret)) //lint:allow noalloc one scratch block per split; documented as SplitInto's only allocation
 	if _, err := io.ReadFull(sp.rand, random); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRandomShortfall, err)
 	}
@@ -183,6 +185,8 @@ func Combine(shares []Share) ([]byte, error) {
 // w_i = Π_{j≠i} x_j / (x_i + x_j) is computed once per share, and the secret
 // is accumulated as Σ w_i · Y_i with the gf256 scaled-accumulate kernel —
 // algebraically identical to interpolating each byte position separately.
+//
+//remicss:noalloc
 func CombineInto(dst []byte, shares []Share) ([]byte, error) {
 	if len(shares) == 0 {
 		return nil, ErrTooFewShares

@@ -40,6 +40,8 @@ var (
 
 // SplitInto dispatches to s's SplitSharesInto when implemented and falls
 // back to Split otherwise, so callers can target the into API uniformly.
+//
+//remicss:noalloc
 func SplitInto(s Scheme, secret []byte, k, m int, shares []Share) ([]Share, error) {
 	if is, ok := s.(IntoScheme); ok {
 		return is.SplitSharesInto(secret, k, m, shares)
@@ -49,6 +51,8 @@ func SplitInto(s Scheme, secret []byte, k, m int, shares []Share) ([]Share, erro
 
 // CombineInto dispatches to s's CombineInto when implemented and falls back
 // to Combine otherwise.
+//
+//remicss:noalloc
 func CombineInto(s Scheme, dst []byte, shares []Share, k, m int) ([]byte, error) {
 	if is, ok := s.(IntoScheme); ok {
 		return is.CombineInto(dst, shares, k, m)
@@ -108,6 +112,8 @@ func checkShares(shares []Share, k int) error {
 // form (x-coordinate byte followed by the y bytes) built block-wise in the
 // reused Data buffers. Steady-state cost is the inner splitter's single
 // random-block allocation plus one small header slice.
+//
+//remicss:noalloc
 func (s *Shamir) SplitSharesInto(secret []byte, k, m int, shares []Share) ([]Share, error) {
 	if err := validate(secret, k, m); err != nil {
 		return nil, err
@@ -117,7 +123,7 @@ func (s *Shamir) SplitSharesInto(secret []byte, k, m int, shares []Share) ([]Sha
 		sp = shamir.NewSplitter(nil)
 	}
 	shares = growShares(shares, m)
-	raw := make([]shamir.Share, m)
+	raw := make([]shamir.Share, m) //lint:allow noalloc small header slice per split; documented steady-state cost
 	for i := range shares {
 		shares[i].Index = i
 		shares[i].Data = growBytes(shares[i].Data, 1+len(secret))
@@ -136,6 +142,8 @@ func (s *Shamir) SplitSharesInto(secret []byte, k, m int, shares []Share) ([]Sha
 
 // CombineInto implements IntoScheme. Unlike the allocating Combine, shares
 // are consumed in wire form without copying their y bytes.
+//
+//remicss:noalloc
 func (s *Shamir) CombineInto(dst []byte, shares []Share, k, m int) ([]byte, error) {
 	if err := checkShares(shares, k); err != nil {
 		return nil, err
@@ -160,6 +168,8 @@ func (s *Shamir) CombineInto(dst []byte, shares []Share, k, m int) ([]byte, erro
 // SplitSharesInto implements IntoScheme: pads are drawn directly into the
 // reused share buffers and folded into the final share with the XOR kernel,
 // so the steady state allocates nothing.
+//
+//remicss:noalloc
 func (x *XOR) SplitSharesInto(secret []byte, k, m int, shares []Share) ([]Share, error) {
 	if err := validate(secret, k, m); err != nil {
 		return nil, err
@@ -189,6 +199,8 @@ func (x *XOR) SplitSharesInto(secret []byte, k, m int, shares []Share) ([]Share,
 }
 
 // CombineInto implements IntoScheme.
+//
+//remicss:noalloc
 func (x *XOR) CombineInto(dst []byte, shares []Share, k, m int) ([]byte, error) {
 	if k != m {
 		return nil, fmt.Errorf("%w: xor requires k == m (got k=%d, m=%d)", ErrUnsupported, k, m)
@@ -206,6 +218,8 @@ func (x *XOR) CombineInto(dst []byte, shares []Share, k, m int) ([]byte, error) 
 
 // SplitSharesInto implements IntoScheme: copies into reused buffers, the
 // zero-allocation steady state of the k=1 fast path.
+//
+//remicss:noalloc
 func (Replication) SplitSharesInto(secret []byte, k, m int, shares []Share) ([]Share, error) {
 	if err := validate(secret, k, m); err != nil {
 		return nil, err
@@ -223,6 +237,8 @@ func (Replication) SplitSharesInto(secret []byte, k, m int, shares []Share) ([]S
 }
 
 // CombineInto implements IntoScheme.
+//
+//remicss:noalloc
 func (r Replication) CombineInto(dst []byte, shares []Share, k, m int) ([]byte, error) {
 	if k != 1 {
 		return nil, fmt.Errorf("%w: replication requires k == 1 (got k=%d)", ErrUnsupported, k)

@@ -65,13 +65,13 @@ type Link struct {
 	mu     sync.Mutex
 	rate   float64 // packets per second; 0 means unlimited
 	burst  float64
-	tokens float64
-	last   time.Time
+	tokens float64   // guarded by mu
+	last   time.Time // guarded by mu
 
 	impair Impairment
-	rng    *rand.Rand
+	rng    *rand.Rand // guarded by mu
 
-	closed bool
+	closed bool // guarded by mu
 }
 
 // Dial opens a channel to the receiver address ("host:port"). rate > 0
@@ -118,11 +118,13 @@ func DialImpaired(raddr string, rate float64, burst int, im Impairment) (*Link, 
 		seed = time.Now().UnixNano()
 	}
 	l.impair = im
-	l.rng = rand.New(rand.NewSource(seed))
+	l.rng = rand.New(rand.NewSource(seed)) //lint:allow mutexguard construction: the link is not shared until DialImpaired returns
 	return l, nil
 }
 
-// refill tops up the token bucket; callers hold mu.
+// refill tops up the token bucket.
+//
+//lint:allow mutexguard callers hold mu
 func (l *Link) refill(now time.Time) {
 	if l.rate == 0 {
 		return
@@ -228,7 +230,7 @@ type Listener struct {
 
 	mu     sync.Mutex
 	wg     sync.WaitGroup
-	closed bool
+	closed bool // guarded by mu
 }
 
 // Listen binds one UDP socket per address. Addresses may use port 0 to let

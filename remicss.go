@@ -42,7 +42,7 @@ package remicss
 
 import (
 	"io"
-	"math/rand"
+	"math/rand" //lint:allow insecure-rand facade re-exports seedable choosers for simulation; share entropy defaults to crypto/rand
 	"time"
 
 	"remicss/internal/core"

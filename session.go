@@ -1,9 +1,11 @@
 package remicss
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand" //lint:allow insecure-rand seeds only the schedule dither; share material always comes from crypto/rand
 	"sync"
 	"time"
 )
@@ -21,8 +23,10 @@ type SessionConfig struct {
 	Rates []float64
 	// Burst is the pacing bucket depth (default 8).
 	Burst int
-	// Seed fixes the schedule dither for reproducibility; 0 derives one
-	// from the current time.
+	// Seed fixes the schedule dither for reproducibility; 0 draws a fresh
+	// seed from crypto/rand so concurrent sessions never share a schedule.
+	// The dither only spreads shares across channels — share material
+	// itself is always cryptographic regardless of Seed.
 	Seed int64
 	// Timeout and MaxPending configure receiver reassembly (zero values use
 	// the protocol defaults).
@@ -57,7 +61,7 @@ type Client struct {
 	mu     sync.Mutex
 	sender *Sender
 	links  []Link
-	closed bool
+	closed bool // guarded by mu
 }
 
 // Connect opens one UDP channel per address and builds a sender with the
@@ -73,7 +77,11 @@ func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
 	p := cfg.params(len(addrs))
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		var raw [8]byte
+		if _, err := crand.Read(raw[:]); err != nil {
+			return nil, fmt.Errorf("remicss: seeding schedule dither: %w", err)
+		}
+		seed = int64(binary.LittleEndian.Uint64(raw[:]))
 	}
 	chooser, err := NewDynamicChooser(p.Kappa, p.Mu, rand.New(rand.NewSource(seed)))
 	if err != nil {
