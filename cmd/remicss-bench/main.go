@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"remicss/internal/bench"
+	"remicss/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func run() error {
 		muStep   = flag.Float64("mustep", 0.25, "μ sweep step (paper: 0.1)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace, and pprof on this address while the sweep runs (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
@@ -42,6 +44,16 @@ func run() error {
 		Duration: *duration,
 		MuStep:   *muStep,
 		Seed:     *seed,
+	}
+	if *metrics != "" {
+		fc.Obs = obs.NewRegistry()
+		fc.Trace = obs.NewTrace(0)
+		srv, err := obs.StartServer(*metrics, fc.Obs, fc.Trace)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	runners := map[string]func(bench.FigureConfig, bool) error{

@@ -50,6 +50,23 @@ func main() {
 	}
 }
 
+// startMetrics starts the observability endpoint when addr is non-empty,
+// returning the registry and trace to wire into the session and a cleanup
+// function (a no-op when metrics are disabled).
+func startMetrics(addr string) (*remicss.MetricsRegistry, *remicss.EventTrace, func(), error) {
+	if addr == "" {
+		return nil, nil, func() {}, nil
+	}
+	reg := remicss.NewMetricsRegistry()
+	trace := remicss.NewEventTrace(0)
+	srv, err := remicss.StartMetricsServer(addr, reg, trace)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	return reg, trace, func() { srv.Close() }, nil
+}
+
 func run(args []string) error {
 	if len(args) < 1 {
 		return errors.New("usage: remicss-xfer {send|recv} [flags]")
@@ -67,13 +84,14 @@ func run(args []string) error {
 func send(args []string) error {
 	fs := flag.NewFlagSet("send", flag.ContinueOnError)
 	var (
-		to    = fs.String("to", "", "comma-separated receiver channel addresses")
-		in    = fs.String("in", "", "file to send")
-		kappa = fs.Float64("kappa", 2, "average threshold κ")
-		mu    = fs.Float64("mu", 3, "average multiplicity μ")
-		chunk = fs.Int("chunk", 1200, "chunk size in bytes")
-		seed  = fs.Int64("seed", time.Now().UnixNano(), "randomness seed for the schedule dither")
-		key   = fs.String("key", "", "pre-shared key: authenticate shares (HMAC) so tampering is detected")
+		to      = fs.String("to", "", "comma-separated receiver channel addresses")
+		in      = fs.String("in", "", "file to send")
+		kappa   = fs.Float64("kappa", 2, "average threshold κ")
+		mu      = fs.Float64("mu", 3, "average multiplicity μ")
+		chunk   = fs.Int("chunk", 1200, "chunk size in bytes")
+		seed    = fs.Int64("seed", time.Now().UnixNano(), "randomness seed for the schedule dither")
+		key     = fs.String("key", "", "pre-shared key: authenticate shares (HMAC) so tampering is detected")
+		metrics = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace, and pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +118,17 @@ func send(args []string) error {
 		}
 	}()
 
+	reg, trace, closeMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics()
+	if reg != nil {
+		for i, l := range links {
+			l.(*remicss.UDPLink).Instrument(reg, i)
+		}
+	}
+
 	chooser, err := remicss.NewDynamicChooser(*kappa, *mu, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
@@ -108,6 +137,8 @@ func send(args []string) error {
 		Scheme:  scheme,
 		Chooser: chooser,
 		Clock:   remicss.WallClock,
+		Metrics: reg,
+		Trace:   trace,
 	}, links)
 	if err != nil {
 		return err
@@ -161,6 +192,7 @@ func recv(args []string) error {
 		out     = fs.String("out", "", "output file")
 		timeout = fs.Duration("timeout", 60*time.Second, "give up after this long without completing")
 		key     = fs.String("key", "", "pre-shared key matching the sender's -key")
+		metrics = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace, and pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,6 +211,15 @@ func recv(args []string) error {
 	defer listener.Close()
 	fmt.Printf("listening on %s\n", strings.Join(listener.Addrs(), ","))
 
+	reg, trace, closeMetrics, err := startMetrics(*metrics)
+	if err != nil {
+		return err
+	}
+	defer closeMetrics()
+	if reg != nil {
+		listener.Instrument(reg)
+	}
+
 	var (
 		mu       sync.Mutex
 		chunks   = make(map[uint64][]byte)
@@ -188,8 +229,10 @@ func recv(args []string) error {
 	)
 	done := make(chan struct{}, 1)
 	rcv, err := remicss.NewReceiver(remicss.ReceiverConfig{
-		Scheme: scheme,
-		Clock:  remicss.WallClock,
+		Scheme:  scheme,
+		Clock:   remicss.WallClock,
+		Metrics: reg,
+		Trace:   trace,
 		OnSymbol: func(_ uint64, payload []byte, _ time.Duration) {
 			if len(payload) < 8 {
 				return

@@ -194,8 +194,14 @@ func TestClosedLoopRecoversFromLossBurst(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Continue the sequence space: the receiver refuses sequence
+		// numbers it has already delivered.
+		var firstSeq uint64
+		if snd != nil {
+			firstSeq = snd.Seq()
+		}
 		s, err := remicss.NewSender(remicss.SenderConfig{
-			Scheme: scheme, Chooser: chooser, Clock: eng.Now,
+			Scheme: scheme, Chooser: chooser, Clock: eng.Now, FirstSeq: firstSeq,
 		}, links)
 		if err != nil {
 			t.Fatal(err)

@@ -111,8 +111,14 @@ func RunAdaptive(cfg AdaptiveConfig) ([]AdaptiveEpoch, error) {
 		if err != nil {
 			return err
 		}
+		// Continue the sequence space across rebuilds: the receiver refuses
+		// sequence numbers it has already delivered.
+		var firstSeq uint64
+		if snd != nil {
+			firstSeq = snd.Seq()
+		}
 		s, err := remicss.NewSender(remicss.SenderConfig{
-			Scheme: scheme, Chooser: chooser, Clock: eng.Now,
+			Scheme: scheme, Chooser: chooser, Clock: eng.Now, FirstSeq: firstSeq,
 		}, links)
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"remicss/internal/obs"
 	"remicss/internal/schedule"
 )
 
@@ -25,6 +26,12 @@ type FigureConfig struct {
 	// RateProbeMbps is the offered load for rate measurements (the paper
 	// uses iperf at 1000 Mbps). Default 1000.
 	RateProbeMbps float64
+	// Obs and Trace, when non-nil, are threaded into every Run the sweep
+	// performs (see RunConfig.Obs), so a figure regeneration can be watched
+	// live over the metrics endpoint. Counters accumulate across the
+	// sweep's runs.
+	Obs   *obs.Registry
+	Trace *obs.Trace
 }
 
 func (c FigureConfig) withDefaults() FigureConfig {
@@ -89,6 +96,8 @@ func Fig3(setup Setup, fc FigureConfig) ([]RatePoint, error) {
 				Duration:     fc.Duration,
 				Seed:         fc.Seed,
 				PayloadBytes: fc.PayloadBytes,
+				Obs:          fc.Obs,
+				Trace:        fc.Trace,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig3 κ=%d μ=%.2f: %w", kappa, mu, err)
@@ -191,6 +200,8 @@ func measureAtMaxRate(setup Setup, kappa, mu float64, fc FigureConfig) (Result, 
 		Duration:     fc.Duration,
 		Seed:         fc.Seed,
 		PayloadBytes: fc.PayloadBytes,
+		Obs:          fc.Obs,
+		Trace:        fc.Trace,
 	})
 	if err != nil {
 		return Result{}, err
@@ -207,6 +218,8 @@ func measureAtMaxRate(setup Setup, kappa, mu float64, fc FigureConfig) (Result, 
 		Duration:     fc.Duration,
 		Seed:         fc.Seed + 7777,
 		PayloadBytes: fc.PayloadBytes,
+		Obs:          fc.Obs,
+		Trace:        fc.Trace,
 	})
 }
 
@@ -256,6 +269,8 @@ func scalingSweep(fc FigureConfig, mu float64, kappas []float64) ([]ScalingPoint
 				Seed:         fc.Seed,
 				HostCost:     DefaultHostCost,
 				PayloadBytes: fc.PayloadBytes,
+				Obs:          fc.Obs,
+				Trace:        fc.Trace,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig6/7 κ=%g rate=%g: %w", kappa, mbps, err)

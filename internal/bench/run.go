@@ -8,6 +8,7 @@ import (
 
 	"remicss/internal/core"
 	"remicss/internal/netem"
+	"remicss/internal/obs"
 	"remicss/internal/remicss"
 	"remicss/internal/schedule"
 	"remicss/internal/sharing"
@@ -92,6 +93,14 @@ type RunConfig struct {
 	// ReassemblyTimeout overrides the receiver eviction timeout. Defaults
 	// to 500ms, comfortably above every setup's delays.
 	ReassemblyTimeout time.Duration
+	// Obs, when non-nil, receives every metric series the run produces:
+	// protocol counters/histograms plus per-channel netem link counters.
+	// This is how the cross-validation tests reconcile observability
+	// against emulator ground truth.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives structured events from the sender,
+	// receiver, and emulated links.
+	Trace *obs.Trace
 }
 
 func (c *RunConfig) applyDefaults() {
@@ -119,6 +128,9 @@ type Result struct {
 	// Sender and Receiver are the protocol counters.
 	Sender   remicss.SenderStats
 	Receiver remicss.ReceiverStats
+	// Links are the per-channel emulator counters, in channel order — the
+	// ground truth the observability layer is reconciled against.
+	Links []netem.LinkStats
 }
 
 // recordingChooser captures each choice so the driver can charge host cost.
@@ -166,6 +178,8 @@ func Run(cfg RunConfig) (Result, error) {
 		Scheme:  scheme,
 		Clock:   eng.Now,
 		Timeout: cfg.ReassemblyTimeout,
+		Metrics: cfg.Obs,
+		Trace:   cfg.Trace,
 		OnSymbol: func(_ uint64, _ []byte, delay time.Duration) {
 			delivered++
 			delaySum += delay
@@ -177,13 +191,18 @@ func Run(cfg RunConfig) (Result, error) {
 
 	linkCfgs := cfg.Setup.LinkConfigs(cfg.PayloadBytes, cfg.QueueLimit)
 	links := make([]remicss.Link, len(linkCfgs))
+	emLinks := make([]*netem.Link, len(linkCfgs))
 	for i, lc := range linkCfgs {
 		link, err := netem.NewLink(eng, lc, rand.New(rand.NewSource(cfg.Seed+int64(i)+1)),
 			func(p []byte, _ time.Duration) { recv.HandleDatagram(p) })
 		if err != nil {
 			return Result{}, fmt.Errorf("bench: channel %d: %w", i, err)
 		}
+		if cfg.Obs != nil {
+			link.Instrument(cfg.Obs, cfg.Trace, i)
+		}
 		links[i] = link
+		emLinks[i] = link
 	}
 
 	chooser, err := buildChooser(cfg, set)
@@ -195,6 +214,8 @@ func Run(cfg RunConfig) (Result, error) {
 		Scheme:  scheme,
 		Chooser: rec,
 		Clock:   eng.Now,
+		Metrics: cfg.Obs,
+		Trace:   cfg.Trace,
 	}, links)
 	if err != nil {
 		return Result{}, fmt.Errorf("bench: %w", err)
@@ -241,6 +262,10 @@ func Run(cfg RunConfig) (Result, error) {
 		AchievedSymbolRate: float64(delivered) / cfg.Duration.Seconds(),
 		Sender:             snd.Stats(),
 		Receiver:           recv.Stats(),
+		Links:              make([]netem.LinkStats, len(emLinks)),
+	}
+	for i, l := range emLinks {
+		res.Links[i] = l.Stats()
 	}
 	res.AchievedMbps = Mbps(res.AchievedSymbolRate, cfg.PayloadBytes)
 	if attempts > 0 {

@@ -3,7 +3,10 @@ package netem
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
+
+	"remicss/internal/obs"
 )
 
 // LinkConfig describes one emulated channel, mirroring what htb and netem
@@ -57,6 +60,63 @@ type Link struct {
 	queued    int
 	down      bool
 	stats     LinkStats
+
+	// Optional observability, attached via Instrument. All nil/zero when
+	// uninstrumented; the emulator is single-goroutine so plain reads are
+	// fine, while the obs handles are atomic anyway.
+	met          linkMetrics
+	trace        *obs.Trace
+	channel      int32
+	lastWritable bool
+}
+
+// linkMetrics holds the obs handles for one instrumented link. Every field
+// is nil until Instrument resolves them.
+type linkMetrics struct {
+	sent      *obs.Counter
+	dropped   *obs.Counter
+	lost      *obs.Counter
+	delivered *obs.Counter
+	queue     *obs.Gauge
+}
+
+// Instrument registers per-link series on reg under the given channel
+// index and mirrors every subsequent Stats transition into them:
+// netem_link_{sent,dropped,lost,delivered}_total{channel="i"} counters and
+// a netem_link_queue{channel="i"} depth gauge. When trace is non-nil the
+// link also records datagram-lost/-delivered events and channel
+// writability transitions. Call before traffic starts; handles are
+// resolved here so the send path performs no map lookups.
+func (l *Link) Instrument(reg *obs.Registry, trace *obs.Trace, channel int) {
+	label := obs.Label{Key: "channel", Value: strconv.Itoa(channel)}
+	l.met = linkMetrics{
+		sent:      reg.Counter("netem_link_sent_total", label),
+		dropped:   reg.Counter("netem_link_dropped_total", label),
+		lost:      reg.Counter("netem_link_lost_total", label),
+		delivered: reg.Counter("netem_link_delivered_total", label),
+		queue:     reg.Gauge("netem_link_queue", label),
+	}
+	l.trace = trace
+	l.channel = int32(channel)
+	l.lastWritable = l.Writable()
+}
+
+// noteWritability records a channel-writable / channel-unwritable trace
+// event when the writability signal has flipped since the last check.
+func (l *Link) noteWritability() {
+	if l.trace == nil {
+		return
+	}
+	w := l.Writable()
+	if w == l.lastWritable {
+		return
+	}
+	l.lastWritable = w
+	kind := obs.EventChannelUnwritable
+	if w {
+		kind = obs.EventChannelWritable
+	}
+	l.trace.Record(kind, l.channel, l.eng.Now(), 0, int64(l.queued))
 }
 
 // NewLink creates a link on the engine. deliver is invoked (inside the
@@ -108,7 +168,10 @@ func (l *Link) Writable() bool { return !l.down && l.queued < l.cfg.QueueLimit }
 // SetDown fails or restores the link. While down, Send rejects every
 // packet and Writable reports false — the failure-injection hook for
 // channel-death experiments. Packets already serializing are unaffected.
-func (l *Link) SetDown(down bool) { l.down = down }
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	l.noteWritability()
+}
 
 // SetLoss changes the loss probability mid-run, for drifting-condition
 // experiments. It panics on probabilities outside [0, 1), matching the
@@ -133,12 +196,20 @@ func (l *Link) QueueLen() int { return l.queued }
 func (l *Link) Send(payload []byte) bool {
 	if l.down || l.queued >= l.cfg.QueueLimit {
 		l.stats.Dropped++
+		if l.met.dropped != nil {
+			l.met.dropped.Inc()
+		}
 		return false
 	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
 	l.queued++
 	l.stats.Sent++
+	if l.met.sent != nil {
+		l.met.sent.Inc()
+		l.met.queue.Set(int64(l.queued))
+	}
+	l.noteWritability()
 
 	start := l.busyUntil
 	if now := l.eng.Now(); start < now {
@@ -146,11 +217,20 @@ func (l *Link) Send(payload []byte) bool {
 	}
 	done := start + l.perPacket
 	l.busyUntil = done
+	size := int64(len(buf))
 
 	l.eng.At(done, func() {
 		l.queued--
+		if l.met.queue != nil {
+			l.met.queue.Set(int64(l.queued))
+		}
+		l.noteWritability()
 		if l.cfg.Loss > 0 && l.rng.Float64() < l.cfg.Loss {
 			l.stats.Lost++
+			if l.met.lost != nil {
+				l.met.lost.Inc()
+			}
+			l.trace.Record(obs.EventDatagramLost, l.channel, done, 0, size)
 			return
 		}
 		arrival := done + l.cfg.Delay
@@ -159,10 +239,18 @@ func (l *Link) Send(payload []byte) bool {
 		}
 		if l.deliver == nil {
 			l.stats.Delivered++
+			if l.met.delivered != nil {
+				l.met.delivered.Inc()
+			}
+			l.trace.Record(obs.EventDatagramDelivered, l.channel, done, 0, int64(arrival-done))
 			return
 		}
 		l.eng.At(arrival, func() {
 			l.stats.Delivered++
+			if l.met.delivered != nil {
+				l.met.delivered.Inc()
+			}
+			l.trace.Record(obs.EventDatagramDelivered, l.channel, arrival, 0, int64(arrival-done))
 			l.deliver(buf, arrival)
 		})
 	})

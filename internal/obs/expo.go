@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesSnapshot is one metric series read at a point in time, the unit of
+// exposition.
+type SeriesSnapshot struct {
+	// Name is the metric name.
+	Name string
+	// Type is "counter", "gauge", or "histogram".
+	Type string
+	// Labels are the series labels, sorted by key.
+	Labels []Label
+	// Value holds the counter or gauge value; zero for histograms.
+	Value int64
+	// Hist holds the histogram state; nil for counters and gauges.
+	Hist *HistogramSnapshot
+}
+
+// Gather snapshots every registered series, sorted by name then label set,
+// so exposition output is stable across runs and registration orders.
+func (r *Registry) Gather() []SeriesSnapshot {
+	r.mu.Lock()
+	series := make([]*series, len(r.series))
+	copy(series, r.series)
+	r.mu.Unlock()
+
+	out := make([]SeriesSnapshot, 0, len(series))
+	for _, s := range series {
+		snap := SeriesSnapshot{Name: s.name, Type: s.kind.String(), Labels: s.labels}
+		switch s.kind {
+		case kindCounter:
+			snap.Value = s.counter.Value()
+		case kindGauge:
+			snap.Value = s.gauge.Value()
+		case kindHistogram:
+			h := s.hist.Snapshot()
+			snap.Hist = &h
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelsLess(out[i].Labels, out[j].Labels)
+	})
+	return out
+}
+
+// labelsLess orders label sets lexicographically by (key, value) pairs.
+func labelsLess(a, b []Label) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Key != b[i].Key {
+			return a[i].Key < b[i].Key
+		}
+		if a[i].Value != b[i].Value {
+			return a[i].Value < b[i].Value
+		}
+	}
+	return len(a) < len(b)
+}
+
+// escapeLabel escapes a label value for the text format: backslash, double
+// quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// writeLabels renders {k="v",...} including a trailing extra label when
+// extraKey is non-empty (used for histogram le buckets).
+func writeLabels(w *bufio.Writer, labels []Label, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Key)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(l.Value))
+		w.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraKey)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(extraVal))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// WriteText renders every series in a Prometheus-style text format:
+// one "# TYPE" header per metric name, then one line per series (histogram
+// series expand into cumulative _bucket lines plus _sum and _count).
+// Output order is deterministic.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, s := range r.Gather() {
+		if s.Name != lastName {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(s.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(s.Type)
+			bw.WriteByte('\n')
+			lastName = s.Name
+		}
+		switch s.Type {
+		case "histogram":
+			var cum int64
+			for i, c := range s.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Hist.Bounds) {
+					le = strconv.FormatInt(s.Hist.Bounds[i], 10)
+				}
+				bw.WriteString(s.Name)
+				bw.WriteString("_bucket")
+				writeLabels(bw, s.Labels, "le", le)
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(cum, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(s.Name)
+			bw.WriteString("_sum")
+			writeLabels(bw, s.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(s.Hist.Sum, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(s.Name)
+			bw.WriteString("_count")
+			writeLabels(bw, s.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(s.Hist.Count, 10))
+			bw.WriteByte('\n')
+		default:
+			bw.WriteString(s.Name)
+			writeLabels(bw, s.Labels, "", "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(s.Value, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonSeries is the JSON exposition shape of one series. Labels marshal as
+// an object whose keys encoding/json emits in sorted order, keeping output
+// deterministic.
+type jsonSeries struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *int64            `json:"value,omitempty"`
+	Count  *int64            `json:"count,omitempty"`
+	Sum    *int64            `json:"sum,omitempty"`
+	Bounds []int64           `json:"bounds,omitempty"`
+	Counts []int64           `json:"counts,omitempty"`
+}
+
+// WriteJSON renders every series as one JSON document:
+// {"metrics":[...]}, deterministically ordered, indented for reading.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snaps := r.Gather()
+	doc := struct {
+		Metrics []jsonSeries `json:"metrics"`
+	}{Metrics: make([]jsonSeries, 0, len(snaps))}
+	for _, s := range snaps {
+		js := jsonSeries{Name: s.Name, Type: s.Type}
+		if len(s.Labels) > 0 {
+			js.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		if s.Hist != nil {
+			count, sum := s.Hist.Count, s.Hist.Sum
+			js.Count, js.Sum = &count, &sum
+			js.Bounds = s.Hist.Bounds
+			js.Counts = s.Hist.Counts
+		} else {
+			v := s.Value
+			js.Value = &v
+		}
+		doc.Metrics = append(doc.Metrics, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

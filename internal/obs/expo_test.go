@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden exposition files")
+
+// goldenRegistry builds a registry with every series kind, awkward label
+// values (escaping), and registration order chosen to prove exposition
+// sorts: series are registered most-sorted-last.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Gauge("zz_pending").Set(-2)
+	h := r.Histogram("share_delay_ns", []int64{1000, 2000, 5000})
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(1500)
+	h.Observe(9999)
+	r.Counter("shares_total", Label{Key: "channel", Value: "1"}).Add(7)
+	r.Counter("shares_total", Label{Key: "channel", Value: "0"}).Add(3)
+	r.Counter("awkward_total", Label{Key: "path", Value: "a\\b\"c\nd"}).Inc()
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch (run with -update to regenerate)\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.txt", buf.Bytes())
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", buf.Bytes())
+}
+
+// TestExpositionOrderIndependent registers the same series in two different
+// orders and requires byte-identical exposition.
+func TestExpositionOrderIndependent(t *testing.T) {
+	build := func(reverse bool) *Registry {
+		r := NewRegistry()
+		names := []string{"a_total", "b_total", "c_total"}
+		if reverse {
+			for i := len(names) - 1; i >= 0; i-- {
+				r.Counter(names[i], Label{Key: "ch", Value: "1"}).Inc()
+				r.Counter(names[i], Label{Key: "ch", Value: "0"}).Inc()
+			}
+		} else {
+			for _, n := range names {
+				r.Counter(n, Label{Key: "ch", Value: "0"}).Inc()
+				r.Counter(n, Label{Key: "ch", Value: "1"}).Inc()
+			}
+		}
+		return r
+	}
+	var fwd, rev bytes.Buffer
+	if err := build(false).WriteText(&fwd); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(true).WriteText(&rev); err != nil {
+		t.Fatal(err)
+	}
+	if fwd.String() != rev.String() {
+		t.Errorf("text exposition depends on registration order:\n%s\nvs\n%s", fwd.String(), rev.String())
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"", ""},
+	} {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

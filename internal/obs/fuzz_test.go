@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzHistogram drives a histogram (and a merge copy) through an arbitrary
+// observation sequence and checks structural invariants: bucket counts sum
+// to the observation count, the sum matches, quantiles are monotone in q
+// and always one of the configured bounds, and merging a fuzzed histogram
+// into a fresh one reproduces its contents exactly.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint64(nil, uint64(1<<63-1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bounds := []int64{-100, 0, 7, 1 << 10, 1 << 30, 1 << 62}
+		h, err := NewHistogram(bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		var n int64
+		for len(data) >= 8 {
+			v := int64(binary.LittleEndian.Uint64(data[:8]))
+			data = data[8:]
+			h.Observe(v)
+			sum += v // wrapping on purpose: the histogram's sum wraps the same way
+			n++
+		}
+		s := h.Snapshot()
+		if s.Count != n {
+			t.Fatalf("count %d, want %d", s.Count, n)
+		}
+		if s.Sum != sum {
+			t.Fatalf("sum %d, want %d", s.Sum, sum)
+		}
+		if len(s.Counts) != len(bounds)+1 {
+			t.Fatalf("%d buckets for %d bounds", len(s.Counts), len(bounds))
+		}
+		var bucketTotal int64
+		for _, c := range s.Counts {
+			if c < 0 {
+				t.Fatalf("negative bucket count %d", c)
+			}
+			bucketTotal += c
+		}
+		if bucketTotal != n {
+			t.Fatalf("buckets sum to %d, want %d", bucketTotal, n)
+		}
+
+		// Quantiles: monotone in q, and always 0 (empty) or a real bound.
+		isBound := func(v int64) bool {
+			for _, b := range bounds {
+				if v == b {
+					return true
+				}
+			}
+			return false
+		}
+		prev := h.Quantile(0)
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			got := h.Quantile(q)
+			if n == 0 {
+				if got != 0 {
+					t.Fatalf("empty quantile(%v) = %d", q, got)
+				}
+				continue
+			}
+			if !isBound(got) {
+				t.Fatalf("quantile(%v) = %d is not a configured bound", q, got)
+			}
+			if got < prev {
+				t.Fatalf("quantile not monotone: q=%v gives %d after %d", q, got, prev)
+			}
+			prev = got
+		}
+
+		// Merging into a fresh histogram must reproduce the contents.
+		m, err := NewHistogram(bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+		ms := m.Snapshot()
+		if ms.Count != s.Count || ms.Sum != s.Sum {
+			t.Fatalf("merge changed totals: %d/%d vs %d/%d", ms.Count, ms.Sum, s.Count, s.Sum)
+		}
+		for i := range s.Counts {
+			if ms.Counts[i] != s.Counts[i] {
+				t.Fatalf("merge changed bucket %d: %d vs %d", i, ms.Counts[i], s.Counts[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution metric. Buckets are allocated
+// once at registration; Observe is a bucket search plus three atomic adds
+// and never allocates, so it is safe inside //remicss:noalloc hot paths.
+//
+// bounds are the inclusive upper bounds of the first len(bounds) buckets,
+// strictly increasing; one implicit overflow bucket catches everything
+// above the last bound. A value v lands in the first bucket whose bound
+// satisfies v <= bound. There is no underflow special case: any value at
+// or below bounds[0] (including negative out-of-range values) lands in
+// bucket 0.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// newHistogram validates bounds and preallocates buckets.
+func newHistogram(bounds []int64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, errors.New("histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, errors.New("histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h, nil
+}
+
+// NewHistogram builds a standalone histogram (outside any registry) with
+// the given bucket upper bounds; exposed for tests and ad-hoc measurement.
+func NewHistogram(bounds []int64) (*Histogram, error) { return newHistogram(bounds) }
+
+// Observe records one value.
+//
+//remicss:noalloc
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v; linear would also be fine at
+	// these bucket counts but the search is branch-predictable either way.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bounds returns the configured bucket upper bounds (not a copy; callers
+// must not mutate).
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Quantile returns an upper estimate of the q-th quantile: the upper bound
+// of the bucket containing the ⌈q·count⌉-th observation. q is clamped to
+// [0, 1]; q = 0 means the first observation. With zero observations it
+// returns 0. Observations in the overflow bucket are reported as the last
+// finite bound (an underestimate, the best a fixed-bucket histogram can
+// do).
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	// count and buckets are read non-atomically with respect to each
+	// other; if a concurrent Observe slipped between, report the largest
+	// bound rather than failing.
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Merge adds other's observations into h. The two histograms must have
+// identical bounds; merging self is a no-op error. Not atomic with respect
+// to concurrent observations on either histogram, but never corrupts
+// invariants (each bucket add is atomic).
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return errors.New("obs: merge of nil histogram")
+	}
+	if h == other {
+		return errors.New("obs: merge of histogram into itself")
+	}
+	if len(h.bounds) != len(other.bounds) {
+		return errors.New("obs: merge of histograms with different bucket counts")
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			return errors.New("obs: merge of histograms with different bounds")
+		}
+	}
+	for i := range other.buckets {
+		h.buckets[i].Add(other.buckets[i].Load())
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	return nil
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram for exposition
+// and tests. Counts[i] pairs with Bounds[i]; the final element of Counts
+// is the overflow bucket.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds.
+	Bounds []int64
+	// Counts holds per-bucket observation counts, one longer than Bounds.
+	Counts []int64
+	// Count is the total number of observations.
+	Count int64
+	// Sum is the total of observed values.
+	Sum int64
+}
+
+// Snapshot copies the histogram state. Taken bucket-by-bucket with atomic
+// loads; concurrent observations may straddle the copy, so Count can
+// differ from the bucket total by in-flight observations.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// DefaultDelayBounds returns exponential-ish bucket bounds for one-way
+// delay histograms, in nanoseconds: 50µs up to 5s in a 1-2-5 progression.
+// The range comfortably covers every emulated setup (serialization delays
+// of ~100µs, propagation up to 12.5ms) and loopback UDP.
+func DefaultDelayBounds() []int64 {
+	return []int64{
+		int64(50 * time.Microsecond),
+		int64(100 * time.Microsecond),
+		int64(200 * time.Microsecond),
+		int64(500 * time.Microsecond),
+		int64(1 * time.Millisecond),
+		int64(2 * time.Millisecond),
+		int64(5 * time.Millisecond),
+		int64(10 * time.Millisecond),
+		int64(20 * time.Millisecond),
+		int64(50 * time.Millisecond),
+		int64(100 * time.Millisecond),
+		int64(200 * time.Millisecond),
+		int64(500 * time.Millisecond),
+		int64(1 * time.Second),
+		int64(2 * time.Second),
+		int64(5 * time.Second),
+	}
+}
+
+// DefaultSizeBounds returns power-of-two bucket bounds for datagram and
+// share size histograms, in bytes: 64 B up to 64 KiB (the UDP maximum).
+func DefaultSizeBounds() []int64 {
+	return []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+}

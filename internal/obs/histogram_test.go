@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h, err := NewHistogram([]int64{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value -> expected bucket index (3 is the overflow bucket).
+	for _, tc := range []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {10, 0}, // no underflow special case
+		{11, 1}, {100, 1},
+		{101, 2}, {1000, 2},
+		{1001, 3}, {1 << 40, 3},
+	} {
+		fresh, _ := NewHistogram([]int64{10, 100, 1000})
+		fresh.Observe(tc.v)
+		s := fresh.Snapshot()
+		for i, c := range s.Counts {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("Observe(%d): bucket %d count %d, want %d", tc.v, i, c, want)
+			}
+		}
+	}
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	if h.Count() != 3 || h.Sum() != 5055 {
+		t.Fatalf("count=%d sum=%d, want 3 and 5055", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, _ := NewHistogram([]int64{10, 20, 30})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 10 observations in bucket 0, 10 in bucket 1.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{-1, 10}, {0, 10}, {0.25, 10}, {0.5, 10},
+		{0.75, 20}, {1, 20}, {2, 20},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	// Overflow observations report the last finite bound.
+	o, _ := NewHistogram([]int64{10, 20, 30})
+	o.Observe(99)
+	if got := o.Quantile(1); got != 30 {
+		t.Errorf("overflow quantile = %d, want last bound 30", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram([]int64{10, 20})
+	b, _ := NewHistogram([]int64{10, 20})
+	a.Observe(5)
+	b.Observe(15)
+	b.Observe(25)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	if s.Count != 3 || s.Sum != 45 {
+		t.Fatalf("merged count=%d sum=%d, want 3 and 45", s.Count, s.Sum)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("merged buckets %v, want [1 1 1]", s.Counts)
+	}
+	// b is unchanged by the merge.
+	if b.Count() != 2 {
+		t.Fatalf("source histogram mutated: count %d", b.Count())
+	}
+
+	if err := a.Merge(nil); err == nil {
+		t.Error("merge of nil must error")
+	}
+	if err := a.Merge(a); err == nil {
+		t.Error("merge into self must error")
+	}
+	c, _ := NewHistogram([]int64{10, 21})
+	if err := a.Merge(c); err == nil {
+		t.Error("merge with different bounds must error")
+	}
+	d, _ := NewHistogram([]int64{10})
+	if err := a.Merge(d); err == nil {
+		t.Error("merge with different bucket counts must error")
+	}
+}
+
+func TestDefaultBoundsAreValid(t *testing.T) {
+	for name, bounds := range map[string][]int64{
+		"delay": DefaultDelayBounds(),
+		"size":  DefaultSizeBounds(),
+	} {
+		if _, err := NewHistogram(bounds); err != nil {
+			t.Errorf("%s bounds invalid: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewHandler returns an HTTP handler exposing the registry and (when
+// non-nil) the trace:
+//
+//	/metrics       text exposition (WriteText)
+//	/metrics.json  JSON exposition (WriteJSON)
+//	/trace         recent trace events as JSON, oldest first
+//	/debug/pprof/  the standard net/http/pprof profiles
+//	/healthz       liveness probe ("ok")
+//
+// pprof is mounted explicitly on the returned mux, not on
+// http.DefaultServeMux, so importing this package never changes global
+// handler state.
+func NewHandler(r *Registry, t *Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type jsonEvent struct {
+			Kind    string        `json:"kind"`
+			Channel int32         `json:"channel"`
+			At      time.Duration `json:"at_ns"`
+			Seq     uint64        `json:"seq"`
+			Value   int64         `json:"value"`
+		}
+		events := t.Snapshot(nil)
+		out := make([]jsonEvent, len(events))
+		for i, ev := range events {
+			out[i] = jsonEvent{
+				Kind: ev.Kind.String(), Channel: ev.Channel,
+				At: ev.At, Seq: ev.Seq, Value: ev.Value,
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Recorded uint64      `json:"recorded"`
+			Events   []jsonEvent `json:"events"`
+		}{Recorded: t.Recorded(), Events: out})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics endpoint started by StartServer.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// StartServer binds addr and serves NewHandler(r, t) in a background
+// goroutine, returning immediately. The caller owns the returned server
+// and should Close it on shutdown.
+func StartServer(addr string, r *Registry, t *Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHandler(r, t)}
+	go srv.Serve(ln)
+	return &Server{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,235 @@
+// Package obs is the protocol's observability layer: an atomic metrics
+// registry (monotonic counters, gauges, fixed-bucket histograms) plus a
+// lock-free structured event trace (trace.go), with text and JSON
+// exposition writers (expo.go) and an optional net/http handler including
+// pprof (http.go).
+//
+// The package exists to compare a live session against the paper's model:
+// the model predicts per-channel observables (risk Z, loss L, delay D,
+// rate R), and the registry exposes the corresponding measured quantities
+// per channel so a run can be reconciled against predictions — or against
+// emulator ground truth, as internal/bench's cross-validation test does.
+//
+// Design constraints, in order:
+//
+//  1. Zero allocation on the hot path. Metric handles (*Counter, *Gauge,
+//     *Histogram) are resolved once at session setup; increments and
+//     observations are single atomic operations with no map lookups, no
+//     locks, and no interface boxing, so instrumentation can stay
+//     always-on inside //remicss:noalloc functions.
+//  2. Safe for concurrent use. Handles may be shared freely across
+//     goroutines; registration is serialized by the registry mutex and
+//     idempotent (same name and labels return the same handle), so
+//     several components can meet in one registry.
+//  3. Pure stdlib, deterministic exposition. Series are ordered by name
+//     and label set, so golden-file tests and scrapers see stable output.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension attached to a metric series, e.g.
+// {Key: "channel", Value: "2"}.
+type Label struct {
+	// Key names the dimension. Keys must match [a-zA-Z_][a-zA-Z0-9_]*.
+	Key string
+	// Value is the dimension's value; arbitrary UTF-8, escaped on
+	// exposition.
+	Value string
+}
+
+// Counter is a monotonically increasing metric. The zero value is usable,
+// but handles are normally obtained from Registry.Counter so they appear
+// in exposition.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+//
+//remicss:noalloc
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n; negative n is a programming error and is
+// ignored to preserve monotonicity.
+//
+//remicss:noalloc
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depths, pending
+// entries).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+//
+//remicss:noalloc
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative deltas decrease it).
+//
+//remicss:noalloc
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// seriesKind discriminates the union inside a registered series.
+type seriesKind uint8
+
+// The three series kinds.
+const (
+	kindCounter seriesKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// String names the kind for exposition.
+func (k seriesKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// series is one registered (name, labels) metric.
+type series struct {
+	name   string
+	labels []Label // sorted by key
+	kind   seriesKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds metric series and hands out handles. The zero value is
+// not usable; call NewRegistry. Registration (the Counter/Gauge/Histogram
+// methods) is cold-path and serialized by a mutex; reading handles and the
+// exposition writers take consistent-enough atomic snapshots without
+// blocking writers.
+type Registry struct {
+	mu     sync.Mutex
+	series []*series          // guarded by mu
+	index  map[string]*series // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*series)}
+}
+
+// Counter returns the counter registered under name and labels, creating
+// it on first use. Panics if the name is already registered as a different
+// kind or the name/labels are malformed — both are programming errors at
+// session setup, never data-dependent.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	s := r.register(name, labels, kindCounter, nil)
+	return s.counter
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use. Panic semantics match Counter.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	s := r.register(name, labels, kindGauge, nil)
+	return s.gauge
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket upper bounds on first use (later calls
+// ignore bounds and return the existing handle). Panic semantics match
+// Counter; bounds must be strictly increasing and non-empty.
+func (r *Registry) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
+	h, err := newHistogram(bounds)
+	if err != nil {
+		panic(fmt.Sprintf("obs: histogram %q: %v", name, err))
+	}
+	s := r.register(name, labels, kindHistogram, h)
+	return s.hist
+}
+
+// register interns one series. hist is non-nil only for kindHistogram.
+func (r *Registry) register(name string, labels []Label, kind seriesKind, hist *Histogram) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for i, l := range sorted {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: metric %q: invalid label key %q", name, l.Key))
+		}
+		if i > 0 && sorted[i-1].Key == l.Key {
+			panic(fmt.Sprintf("obs: metric %q: duplicate label key %q", name, l.Key))
+		}
+	}
+	key := seriesKey(name, sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.index[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, s.kind))
+		}
+		return s
+	}
+	s := &series{name: name, labels: sorted, kind: kind}
+	switch kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = hist
+	}
+	r.index[key] = s
+	r.series = append(r.series, s)
+	return s
+}
+
+// seriesKey builds the interning key for a (name, sorted labels) pair.
+func seriesKey(name string, labels []Label) string {
+	key := name
+	for _, l := range labels {
+		key += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return key
+}
+
+// validName reports whether s is a legal metric or label-key identifier:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

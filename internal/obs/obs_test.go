@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	c.Add(0)  // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestRegistryIdempotentHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", Label{Key: "channel", Value: "0"})
+	b := r.Counter("x_total", Label{Key: "channel", Value: "0"})
+	if a != b {
+		t.Fatal("same (name, labels) must return the same handle")
+	}
+	other := r.Counter("x_total", Label{Key: "channel", Value: "1"})
+	if a == other {
+		t.Fatal("different label values must be distinct series")
+	}
+	// Label order must not matter.
+	h1 := r.Gauge("y", Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	h2 := r.Gauge("y", Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	if h1 != h2 {
+		t.Fatal("label order must not change series identity")
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("dual")
+	mustPanic("kind mismatch", func() { r.Gauge("dual") })
+	mustPanic("bad name", func() { r.Counter("9starts_with_digit") })
+	mustPanic("empty name", func() { r.Counter("") })
+	mustPanic("bad label key", func() { r.Counter("ok", Label{Key: "bad-key", Value: "v"}) })
+	mustPanic("dup label key", func() {
+		r.Counter("ok", Label{Key: "k", Value: "1"}, Label{Key: "k", Value: "2"})
+	})
+	mustPanic("empty histogram bounds", func() { r.Histogram("h", nil) })
+	mustPanic("non-increasing bounds", func() { r.Histogram("h", []int64{1, 1}) })
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	handles := make([]*Counter, 16)
+	for i := range handles {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			handles[i] = r.Counter("contended_total")
+		}()
+	}
+	wg.Wait()
+	for _, h := range handles[1:] {
+		if h != handles[0] {
+			t.Fatal("concurrent registration returned distinct handles")
+		}
+	}
+}
+
+func TestTraceRecordAndSnapshot(t *testing.T) {
+	tr := NewTrace(16)
+	if tr.Cap() != 16 {
+		t.Fatalf("cap = %d, want 16", tr.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(EventShareSent, int32(i%3), time.Duration(i), uint64(i), int64(100+i))
+	}
+	evs := tr.Snapshot(nil)
+	if len(evs) != 10 {
+		t.Fatalf("snapshot has %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) || ev.Value != int64(100+i) || ev.Channel != int32(i%3) {
+			t.Fatalf("event %d corrupted: %+v", i, ev)
+		}
+	}
+	if got := tr.CountKind(EventShareSent); got != 10 {
+		t.Fatalf("CountKind = %d, want 10", got)
+	}
+	if got := tr.CountKind(EventSymbolDelivered); got != 0 {
+		t.Fatalf("CountKind(other) = %d, want 0", got)
+	}
+}
+
+func TestTraceWrapKeepsNewest(t *testing.T) {
+	tr := NewTrace(16)
+	const total = 40
+	for i := 0; i < total; i++ {
+		tr.Record(EventDatagramLost, 0, 0, uint64(i), 0)
+	}
+	if got := tr.Recorded(); got != total {
+		t.Fatalf("recorded = %d, want %d", got, total)
+	}
+	evs := tr.Snapshot(nil)
+	if len(evs) != 16 {
+		t.Fatalf("snapshot has %d events, want ring capacity 16", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(total - 16 + i); ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d (oldest-first of the newest 16)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Record(EventShareSent, 0, 0, 0, 0) // must not panic
+	if tr.Recorded() != 0 || tr.Cap() != 0 {
+		t.Fatal("nil trace must report zero")
+	}
+	if got := tr.Snapshot(nil); len(got) != 0 {
+		t.Fatal("nil trace snapshot must be empty")
+	}
+}
+
+func TestTraceCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultTraceCapacity}, {-5, DefaultTraceCapacity},
+		{1, 16}, {17, 32}, {1024, 1024},
+	} {
+		if got := NewTrace(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewTrace(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EventShareSent, EventDatagramDropped, EventDatagramLost,
+		EventDatagramDelivered, EventSymbolDelivered, EventSymbolEvicted,
+		EventReportReceived, EventChannelWritable, EventChannelUnwritable,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("kind %d: bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Error("out-of-range kind must stringify as unknown")
+	}
+}
+
+// TestTraceConcurrent exercises concurrent writers and readers under the
+// race detector: snapshots must never return torn events (detected here by
+// a per-event invariant between Seq and Value).
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seq := uint64(w)<<32 | uint64(i)
+				tr.Record(EventShareSent, int32(w), 0, seq, int64(seq))
+			}
+		}()
+	}
+	deadline := time.Now().Add(50 * time.Millisecond)
+	var buf []Event
+	for time.Now().Before(deadline) {
+		buf = tr.Snapshot(buf[:0])
+		for _, ev := range buf {
+			if ev.Value != int64(ev.Seq) {
+				t.Fatalf("torn event: seq %d, value %d", ev.Seq, ev.Value)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

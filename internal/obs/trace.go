@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies one trace event. The taxonomy covers the protocol's
+// share data path end to end: what the sender emitted, what each channel
+// did to it, and what the receiver concluded.
+type EventKind uint8
+
+// The event taxonomy.
+const (
+	// EventShareSent: the sender handed one share datagram to a link that
+	// accepted it. Channel is the link index, Seq the symbol sequence,
+	// Value the datagram size in bytes.
+	EventShareSent EventKind = iota + 1
+	// EventDatagramDropped: a link refused a datagram (full transmit
+	// queue, pacing, closed socket). Same fields as EventShareSent.
+	EventDatagramDropped
+	// EventDatagramLost: an emulated or impaired channel dropped an
+	// accepted datagram on the wire (Bernoulli loss). Value is the size.
+	EventDatagramLost
+	// EventDatagramDelivered: a channel handed a datagram to the receiving
+	// side. Value is the channel's one-way latency in nanoseconds when
+	// known, else the size.
+	EventDatagramDelivered
+	// EventSymbolDelivered: the receiver reconstructed a symbol. Channel
+	// is -1 (symbols span channels); Value is the one-way delay in
+	// nanoseconds.
+	EventSymbolDelivered
+	// EventSymbolEvicted: the receiver dropped an incomplete symbol
+	// (timeout or memory pressure). Value is the number of shares held.
+	EventSymbolEvicted
+	// EventReportReceived: the sender ingested a receiver feedback report.
+	// Seq is the report epoch; Value is the delivered-count delta.
+	EventReportReceived
+	// EventChannelWritable: a channel transitioned to writable. Value is
+	// the transmit queue depth at the transition.
+	EventChannelWritable
+	// EventChannelUnwritable: a channel transitioned to unwritable (queue
+	// full or link down). Value is the transmit queue depth.
+	EventChannelUnwritable
+)
+
+// String names the event kind for logs and dumps.
+func (k EventKind) String() string {
+	switch k {
+	case EventShareSent:
+		return "share-sent"
+	case EventDatagramDropped:
+		return "datagram-dropped"
+	case EventDatagramLost:
+		return "datagram-lost"
+	case EventDatagramDelivered:
+		return "datagram-delivered"
+	case EventSymbolDelivered:
+		return "symbol-delivered"
+	case EventSymbolEvicted:
+		return "symbol-evicted"
+	case EventReportReceived:
+		return "report-received"
+	case EventChannelWritable:
+		return "channel-writable"
+	case EventChannelUnwritable:
+		return "channel-unwritable"
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record. The struct is flat (no pointers)
+// so rings of events stay off the garbage collector's scan path.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Channel is the channel index the event concerns, or -1.
+	Channel int32
+	// At is the protocol timestamp (virtual time in simulation, wall time
+	// since the epoch over UDP).
+	At time.Duration
+	// Seq is the protocol sequence number the event concerns, if any.
+	Seq uint64
+	// Value carries a kind-specific quantity (bytes, nanoseconds, queue
+	// depth); see the EventKind docs.
+	Value int64
+}
+
+// slot is one ring cell. Every field is atomic so concurrent Record and
+// Snapshot are race-free; ver is a per-slot seqlock: 2·ticket+1 while a
+// write is in flight, 2·ticket+2 once published. A reader accepts a slot
+// only if ver matches the expected published value before and after
+// copying the fields.
+type slot struct {
+	ver  atomic.Uint64
+	kind atomic.Int64
+	ch   atomic.Int64
+	at   atomic.Int64
+	seq  atomic.Uint64
+	val  atomic.Int64
+}
+
+// Trace is a lock-free ring buffer of structured events. Writers claim
+// slots with one atomic fetch-add and overwrite the oldest events when the
+// ring wraps; readers take best-effort snapshots without blocking writers.
+// A nil *Trace is valid and records nothing, so call sites can hold an
+// optional trace without branching.
+//
+// Consistency: an event is dropped from a snapshot (never torn) if its
+// slot was being rewritten while the snapshot ran. Two writers a full ring
+// apart writing the same slot concurrently could in principle publish a
+// mixed record; with rings sized generously above the event rate this is
+// not a practical concern for a diagnostic trace.
+type Trace struct {
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// DefaultTraceCapacity is the ring size used when NewTrace is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTrace builds a ring holding capacity events, rounded up to a power of
+// two (minimum 16). capacity <= 0 uses DefaultTraceCapacity.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Trace{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Record appends one event. Safe for concurrent use; no-op on a nil trace.
+//
+//remicss:noalloc
+func (t *Trace) Record(kind EventKind, channel int32, at time.Duration, seq uint64, value int64) {
+	if t == nil {
+		return
+	}
+	n := t.next.Add(1) - 1
+	s := &t.slots[n&t.mask]
+	s.ver.Store(2*n + 1)
+	s.kind.Store(int64(kind))
+	s.ch.Store(int64(channel))
+	s.at.Store(int64(at))
+	s.seq.Store(seq)
+	s.val.Store(value)
+	s.ver.Store(2*n + 2)
+}
+
+// Recorded returns the total number of events ever recorded (including
+// those already overwritten). Zero for a nil trace.
+func (t *Trace) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Load()
+}
+
+// Cap returns the ring capacity in events. Zero for a nil trace.
+func (t *Trace) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// Snapshot appends the currently held events to dst, oldest first, and
+// returns the extended slice. Events being overwritten concurrently are
+// skipped, not torn. A nil trace appends nothing.
+func (t *Trace) Snapshot(dst []Event) []Event {
+	if t == nil {
+		return dst
+	}
+	end := t.next.Load()
+	start := uint64(0)
+	if end > uint64(len(t.slots)) {
+		start = end - uint64(len(t.slots))
+	}
+	for n := start; n < end; n++ {
+		s := &t.slots[n&t.mask]
+		want := 2*n + 2
+		if s.ver.Load() != want {
+			continue
+		}
+		ev := Event{
+			Kind:    EventKind(s.kind.Load()),
+			Channel: int32(s.ch.Load()),
+			At:      time.Duration(s.at.Load()),
+			Seq:     s.seq.Load(),
+			Value:   s.val.Load(),
+		}
+		if s.ver.Load() != want {
+			continue
+		}
+		dst = append(dst, ev)
+	}
+	return dst
+}
+
+// CountKind returns how many currently held events have the given kind.
+// Convenience for tests and reconciliation; takes a snapshot internally.
+func (t *Trace) CountKind(kind EventKind) int {
+	var n int
+	for _, ev := range t.Snapshot(nil) {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,6 +1,9 @@
 package remicss
 
 import (
+	"time"
+
+	"remicss/internal/obs"
 	"remicss/internal/wire"
 )
 
@@ -16,7 +19,7 @@ import (
 func (r *Receiver) MakeReport() []byte {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := r.stats
+	st := r.Stats()
 	rep := wire.ReportPacket{
 		Epoch:     r.reportEpoch,
 		Delivered: uint64(st.SymbolsDelivered - r.lastReport.SymbolsDelivered),
@@ -37,6 +40,17 @@ type FeedbackState struct {
 	delivered uint64
 	evicted   uint64
 	reports   int64
+
+	trace *obs.Trace
+	clock func() time.Duration
+}
+
+// Instrument attaches a trace (and the clock to timestamp events with) so
+// each accepted report emits an EventReportReceived. Either argument may
+// be nil to leave the corresponding aspect unset.
+func (f *FeedbackState) Instrument(trace *obs.Trace, clock func() time.Duration) {
+	f.trace = trace
+	f.clock = clock
 }
 
 // Ingest parses a report datagram. Non-report datagrams and stale epochs
@@ -55,6 +69,13 @@ func (f *FeedbackState) Ingest(datagram []byte) bool {
 	f.delivered += rep.Delivered
 	f.evicted += rep.Evicted
 	f.reports++
+	if f.trace != nil {
+		var now time.Duration
+		if f.clock != nil {
+			now = f.clock()
+		}
+		f.trace.Record(obs.EventReportReceived, -1, now, rep.Epoch, int64(rep.Delivered))
+	}
 	return true
 }
 

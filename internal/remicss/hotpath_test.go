@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"remicss/internal/obs"
 	"remicss/internal/sharing"
 	"remicss/internal/wire"
 )
@@ -19,7 +20,9 @@ func (nullLink) Writable() bool            { return true }
 func (nullLink) Backlog() time.Duration    { return 0 }
 
 // hotPathSender builds a sender over m null links with a fixed (k, mask)
-// assignment and a constant clock.
+// assignment and a constant clock. Metrics and tracing are explicitly ON:
+// the allocation pins below must hold with full instrumentation, per the
+// obs design contract.
 func hotPathSender(t testing.TB, k, m int) *Sender {
 	t.Helper()
 	links := make([]Link, m)
@@ -30,6 +33,8 @@ func hotPathSender(t testing.TB, k, m int) *Sender {
 		Scheme:  sharing.NewAuto(rand.New(rand.NewSource(1))),
 		Chooser: FixedChooser{K: k, Mask: 1<<uint(m) - 1},
 		Clock:   func() time.Duration { return 0 },
+		Metrics: obs.NewRegistry(),
+		Trace:   obs.NewTrace(1 << 12),
 	}, links)
 	if err != nil {
 		t.Fatal(err)
@@ -38,8 +43,9 @@ func hotPathSender(t testing.TB, k, m int) *Sender {
 }
 
 // TestSendHotPathAllocs pins the steady-state allocation budget of the
-// send path: zero for the replication and XOR fast paths, O(1) for Shamir
-// (its fresh-randomness buffer plus scheme-internal scratch).
+// send path with metrics and tracing enabled: zero for the replication and
+// XOR fast paths, O(1) for Shamir (its fresh-randomness buffer plus
+// scheme-internal scratch).
 func TestSendHotPathAllocs(t *testing.T) {
 	payload := bytes.Repeat([]byte{0x5a}, 1400)
 	cases := []struct {
@@ -82,6 +88,8 @@ func TestReceiverIngestSteadyStateAllocs(t *testing.T) {
 		Clock:    func() time.Duration { return now },
 		OnSymbol: func(seq uint64, payload []byte, delay time.Duration) {},
 		Timeout:  time.Millisecond,
+		Metrics:  obs.NewRegistry(),
+		Trace:    obs.NewTrace(1 << 12),
 	})
 	if err != nil {
 		t.Fatal(err)

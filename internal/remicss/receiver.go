@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"remicss/internal/obs"
 	"remicss/internal/sharing"
 	"remicss/internal/wire"
 )
@@ -17,7 +18,14 @@ const (
 	DefaultMaxPending        = 4096
 )
 
-// ReceiverStats counts receiver-side activity.
+// closedMemoryFactor sizes the closed-symbol memory (see Receiver.closed)
+// as a multiple of MaxPending.
+const closedMemoryFactor = 4
+
+// ReceiverStats counts receiver-side activity. It is a point-in-time
+// snapshot assembled from the receiver's metric registry; the registry
+// itself (see Receiver.Metrics) additionally exposes a one-way delay
+// histogram, a datagram total, and a pending gauge.
 type ReceiverStats struct {
 	// SharesReceived counts structurally valid shares accepted into
 	// reassembly.
@@ -27,7 +35,9 @@ type ReceiverStats struct {
 	SharesInvalid int64
 	// SharesDuplicate counts shares for an index already held.
 	SharesDuplicate int64
-	// SharesLate counts shares for symbols already delivered or evicted.
+	// SharesLate counts shares for symbols already delivered or evicted,
+	// including shares arriving after their symbol's reassembly entry was
+	// itself evicted (the closed-symbol memory).
 	SharesLate int64
 	// SymbolsDelivered counts symbols reconstructed and handed to the
 	// callback.
@@ -60,24 +70,77 @@ type ReceiverConfig struct {
 	// MaxPending bounds the number of symbols (complete or partial) held.
 	// Oldest entries are evicted first. Defaults to DefaultMaxPending.
 	MaxPending int
+	// Metrics receives the receiver's counters, delay histogram, and
+	// pending gauge. Nil gives the receiver a private registry; Stats and
+	// Metrics work either way.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives symbol-delivered and symbol-evicted
+	// events. Nil disables tracing.
+	Trace *obs.Trace
+}
+
+// receiverMetrics bundles every handle the ingest path touches. Handles
+// are resolved once at construction; ingest increments are single atomic
+// operations.
+type receiverMetrics struct {
+	reg             *obs.Registry
+	datagrams       *obs.Counter
+	sharesReceived  *obs.Counter
+	sharesInvalid   *obs.Counter
+	sharesDuplicate *obs.Counter
+	sharesLate      *obs.Counter
+	symbolsDeliv    *obs.Counter
+	symbolsEvicted  *obs.Counter
+	combineFailures *obs.Counter
+	pending         *obs.Gauge
+	delay           *obs.Histogram
+}
+
+// newReceiverMetrics registers the receiver series.
+func newReceiverMetrics(reg *obs.Registry) receiverMetrics {
+	return receiverMetrics{
+		reg:             reg,
+		datagrams:       reg.Counter("remicss_receiver_datagrams_total"),
+		sharesReceived:  reg.Counter("remicss_receiver_shares_received_total"),
+		sharesInvalid:   reg.Counter("remicss_receiver_shares_invalid_total"),
+		sharesDuplicate: reg.Counter("remicss_receiver_shares_duplicate_total"),
+		sharesLate:      reg.Counter("remicss_receiver_shares_late_total"),
+		symbolsDeliv:    reg.Counter("remicss_receiver_symbols_delivered_total"),
+		symbolsEvicted:  reg.Counter("remicss_receiver_symbols_evicted_total"),
+		combineFailures: reg.Counter("remicss_receiver_combine_failures_total"),
+		pending:         reg.Gauge("remicss_receiver_pending"),
+		delay:           reg.Histogram("remicss_receiver_symbol_delay_ns", obs.DefaultDelayBounds()),
+	}
 }
 
 // Receiver is the receiving half of the protocol: a reassembly buffer over
 // incoming share datagrams. It is safe for concurrent use: a single mutex
-// serializes HandleDatagram, Tick, MakeReport, Stats, and Pending, so
-// datagrams may be ingested directly from multiple transport goroutines.
-// Reassembly entries and their share buffers are recycled through a
-// sync.Pool, so steady-state ingest does not allocate per share.
+// serializes HandleDatagram, Tick, MakeReport, and Pending, so datagrams
+// may be ingested directly from multiple transport goroutines; counters
+// are atomic and readable without the lock. Reassembly entries and their
+// share buffers are recycled through a sync.Pool, so steady-state ingest
+// does not allocate per share.
 type Receiver struct {
-	cfg ReceiverConfig
+	cfg   ReceiverConfig
+	met   receiverMetrics
+	trace *obs.Trace
 
-	mu    sync.Mutex
-	stats ReceiverStats // guarded by mu
+	mu sync.Mutex
 
 	// pending maps seq -> reassembly entry; order tracks insertion order
 	// for timeout scans and memory-pressure eviction (oldest first).
 	pending map[uint64]*list.Element // guarded by mu
 	order   *list.List               // guarded by mu
+
+	// closed remembers recently evicted tombstones (symbols already
+	// delivered or failed) so a straggler share cannot reopen its
+	// sequence number and — for thresholds met again — deliver the same
+	// symbol twice. Bounded FIFO: closedFIFO holds the remembered seqs in
+	// insertion order, closedHead is the next overwrite position once the
+	// ring is full.
+	closed     map[uint64]struct{} // guarded by mu
+	closedFIFO []uint64            // guarded by mu
+	closedHead int                 // guarded by mu
 
 	// Feedback report state (see feedback.go).
 	reportEpoch uint64        // guarded by mu
@@ -144,18 +207,38 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = DefaultMaxPending
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Receiver{
-		cfg:     cfg,
-		pending: make(map[uint64]*list.Element),
-		order:   list.New(),
+		cfg:        cfg,
+		met:        newReceiverMetrics(reg),
+		trace:      cfg.Trace,
+		pending:    make(map[uint64]*list.Element),
+		order:      list.New(),
+		closed:     make(map[uint64]struct{}),
+		closedFIFO: make([]uint64, 0, closedMemoryFactor*cfg.MaxPending),
 	}, nil
 }
 
-// Stats returns a snapshot of the receiver counters.
+// Metrics returns the registry holding the receiver's series (the one
+// from ReceiverConfig.Metrics, or the private registry created in its
+// absence), for exposition via internal/obs writers.
+func (r *Receiver) Metrics() *obs.Registry { return r.met.reg }
+
+// Stats returns a snapshot of the receiver counters. Counters are atomic,
+// so the snapshot does not block concurrent ingest.
 func (r *Receiver) Stats() ReceiverStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return ReceiverStats{
+		SharesReceived:   r.met.sharesReceived.Value(),
+		SharesInvalid:    r.met.sharesInvalid.Value(),
+		SharesDuplicate:  r.met.sharesDuplicate.Value(),
+		SharesLate:       r.met.sharesLate.Value(),
+		SymbolsDelivered: r.met.symbolsDeliv.Value(),
+		SymbolsEvicted:   r.met.symbolsEvicted.Value(),
+		CombineFailures:  r.met.combineFailures.Value(),
+	}
 }
 
 // Pending returns the number of reassembly entries held (including
@@ -174,17 +257,25 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
+	r.met.datagrams.Inc()
 	now := r.cfg.Clock()
 	r.evictExpired(now)
 
 	pkt, err := wire.Unmarshal(buf)
 	if err != nil {
-		r.stats.SharesInvalid++
+		r.met.sharesInvalid.Inc()
 		return
 	}
 
 	elem, exists := r.pending[pkt.Seq]
 	if !exists {
+		if _, wasClosed := r.closed[pkt.Seq]; wasClosed {
+			// The symbol's tombstone has already been evicted; reopening
+			// the sequence would deliver the symbol a second time once k
+			// stray shares accumulate. Count the straggler as late.
+			r.met.sharesLate.Inc()
+			return
+		}
 		r.admit()
 		e := entryPool.Get().(*entry)
 		e.seq = pkt.Seq
@@ -195,28 +286,29 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 		e.done = false
 		elem = r.order.PushBack(e)
 		r.pending[pkt.Seq] = elem
+		r.met.pending.Set(int64(r.order.Len()))
 	}
 	e := elem.Value.(*entry)
 
 	if e.done {
-		r.stats.SharesLate++
+		r.met.sharesLate.Inc()
 		return
 	}
 	if int(pkt.K) != e.k || int(pkt.M) != e.m {
 		// Shares of one symbol must agree on parameters; the first share
 		// seen wins and inconsistent ones are discarded.
-		r.stats.SharesInvalid++
+		r.met.sharesInvalid.Inc()
 		return
 	}
 	if e.haveIdx&(1<<uint(pkt.Index)) != 0 {
-		r.stats.SharesDuplicate++
+		r.met.sharesDuplicate.Inc()
 		return
 	}
 	e.haveIdx |= 1 << uint(pkt.Index)
 	data := e.grabBuf(len(pkt.Payload))
 	copy(data, pkt.Payload)
 	e.shares = append(e.shares, sharing.Share{Index: int(pkt.Index), Data: data})
-	r.stats.SharesReceived++
+	r.met.sharesReceived.Inc()
 
 	if len(e.shares) < e.k {
 		return
@@ -226,7 +318,7 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 	// stream.Orderer retain payloads).
 	secret, err := sharing.CombineInto(r.cfg.Scheme, nil, e.shares, e.k, e.m)
 	if err != nil {
-		r.stats.CombineFailures++
+		r.met.combineFailures.Inc()
 		// Leave the entry; a later consistent share set cannot form since
 		// indices are unique, so mark done to stop retrying.
 		e.done = true
@@ -235,8 +327,11 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 	}
 	e.done = true
 	e.recycleShares()
-	r.stats.SymbolsDelivered++
-	r.cfg.OnSymbol(e.seq, secret, now-time.Duration(e.sentAt))
+	r.met.symbolsDeliv.Inc()
+	delay := now - time.Duration(e.sentAt)
+	r.met.delay.Observe(int64(delay))
+	r.trace.Record(obs.EventSymbolDelivered, -1, now, e.seq, int64(delay))
+	r.cfg.OnSymbol(e.seq, secret, delay)
 }
 
 // Tick performs timeout eviction; call it periodically when no datagrams
@@ -260,7 +355,7 @@ func (r *Receiver) evictExpired(now time.Duration) {
 		if now-e.arrived < r.cfg.Timeout {
 			return
 		}
-		r.drop(front, e)
+		r.drop(front, e, now)
 	}
 }
 
@@ -271,19 +366,42 @@ func (r *Receiver) admit() {
 	for r.order.Len() >= r.cfg.MaxPending {
 		front := r.order.Front()
 		e := front.Value.(*entry)
-		r.drop(front, e)
+		r.drop(front, e, e.arrived+r.cfg.Timeout)
 	}
 }
 
-// drop removes one reassembly entry and recycles it.
+// rememberClosed records a tombstone's sequence number in the bounded
+// closed-symbol memory, evicting the oldest remembered seq once the ring
+// is full.
 //
 //lint:allow mutexguard callers hold mu
-func (r *Receiver) drop(elem *list.Element, e *entry) {
+func (r *Receiver) rememberClosed(seq uint64) {
+	if len(r.closedFIFO) < cap(r.closedFIFO) {
+		r.closedFIFO = append(r.closedFIFO, seq)
+	} else {
+		delete(r.closed, r.closedFIFO[r.closedHead])
+		r.closedFIFO[r.closedHead] = seq
+		r.closedHead = (r.closedHead + 1) % len(r.closedFIFO)
+	}
+	r.closed[seq] = struct{}{}
+}
+
+// drop removes one reassembly entry and recycles it. now is the eviction
+// timestamp for trace purposes.
+//
+//lint:allow mutexguard callers hold mu
+func (r *Receiver) drop(elem *list.Element, e *entry, now time.Duration) {
 	r.order.Remove(elem)
 	delete(r.pending, e.seq)
-	if !e.done {
-		r.stats.SymbolsEvicted++
+	if e.done {
+		// Delivered (or combine-failed) symbols must never be re-admitted
+		// by stragglers; remember the closed seq.
+		r.rememberClosed(e.seq)
+	} else {
+		r.met.symbolsEvicted.Inc()
+		r.trace.Record(obs.EventSymbolEvicted, -1, now, e.seq, int64(len(e.shares)))
 	}
+	r.met.pending.Set(int64(r.order.Len()))
 	e.recycleShares()
 	entryPool.Put(e)
 }

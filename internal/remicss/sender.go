@@ -3,14 +3,19 @@ package remicss
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 	"sync"
 	"time"
 
+	"remicss/internal/obs"
 	"remicss/internal/sharing"
 	"remicss/internal/wire"
 )
 
-// SenderStats counts sender-side activity.
+// SenderStats counts sender-side activity. It is a point-in-time snapshot
+// assembled from the sender's metric registry; the registry itself (see
+// Sender.Metrics) additionally breaks shares down per channel and
+// histograms share sizes.
 type SenderStats struct {
 	// SymbolsSent counts symbols whose shares were handed to the links.
 	SymbolsSent int64
@@ -34,22 +39,74 @@ type SenderConfig struct {
 	// clock, over UDP it is wall time since an epoch shared with the
 	// receiver.
 	Clock func() time.Duration
+	// Metrics receives the sender's counters and histograms. Nil gives
+	// the sender a private registry; Stats and Metrics work either way.
+	// Sharing one registry between a sender, receiver, and transport
+	// links composes their series into one exposition endpoint.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives share-sent and datagram-dropped
+	// events with per-channel labels. Nil disables tracing.
+	Trace *obs.Trace
+	// FirstSeq is the first sequence number the sender assigns. A sender
+	// rebuilt mid-session (e.g. to change parameters) must continue the
+	// previous sender's sequence space (pass its Seq() here): the receiver
+	// permanently refuses sequence numbers it has already delivered, so
+	// restarting from zero would discard the reused range as late shares.
+	FirstSeq uint64
+}
+
+// senderChannelCounters are the per-channel metric handles, resolved once
+// at construction so the hot path indexes a slice instead of hashing
+// labels.
+type senderChannelCounters struct {
+	sent    *obs.Counter
+	dropped *obs.Counter
+}
+
+// senderMetrics bundles every handle the send path touches.
+type senderMetrics struct {
+	reg            *obs.Registry
+	symbolsSent    *obs.Counter
+	symbolsStalled *obs.Counter
+	shareBytes     *obs.Histogram
+	perChan        []senderChannelCounters
+}
+
+// newSenderMetrics registers the sender series for n channels.
+func newSenderMetrics(reg *obs.Registry, n int) senderMetrics {
+	m := senderMetrics{
+		reg:            reg,
+		symbolsSent:    reg.Counter("remicss_sender_symbols_sent_total"),
+		symbolsStalled: reg.Counter("remicss_sender_symbols_stalled_total"),
+		shareBytes:     reg.Histogram("remicss_sender_share_bytes", obs.DefaultSizeBounds()),
+		perChan:        make([]senderChannelCounters, n),
+	}
+	for i := range m.perChan {
+		label := obs.Label{Key: "channel", Value: strconv.Itoa(i)}
+		m.perChan[i] = senderChannelCounters{
+			sent:    reg.Counter("remicss_sender_shares_sent_total", label),
+			dropped: reg.Counter("remicss_sender_shares_dropped_total", label),
+		}
+	}
+	return m
 }
 
 // Sender is the sending half of the protocol. It is safe for concurrent
-// use: a single mutex serializes Send, Stats, and Seq, and the chooser
-// and scratch buffers are only touched under it. The steady-state Send
-// path reuses a per-sender share slice and one marshal buffer, so the
-// replication and XOR schemes transmit without heap allocation; links
-// must therefore not retain the datagram slice after Send returns (see
-// the Link contract).
+// use: a single mutex serializes Send and Seq, and the chooser and scratch
+// buffers are only touched under it; counters are atomic and readable
+// without the lock. The steady-state Send path reuses a per-sender share
+// slice and one marshal buffer, so the replication and XOR schemes
+// transmit without heap allocation even with metrics and tracing on;
+// links must therefore not retain the datagram slice after Send returns
+// (see the Link contract).
 type Sender struct {
 	cfg   SenderConfig
 	links []Link
+	met   senderMetrics
+	trace *obs.Trace
 
-	mu    sync.Mutex
-	seq   uint64      // guarded by mu
-	stats SenderStats // guarded by mu
+	mu  sync.Mutex
+	seq uint64 // guarded by mu
 	// shares and dgram are Send scratch, reused across calls: shares
 	// holds the split output (share payload buffers are recycled by the
 	// scheme's into path), dgram holds one marshaled datagram at a time.
@@ -74,14 +131,37 @@ func NewSender(cfg SenderConfig, links []Link) (*Sender, error) {
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("remicss: nil clock")
 	}
-	return &Sender{cfg: cfg, links: links}, nil
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Sender{
+		cfg:   cfg,
+		links: links,
+		met:   newSenderMetrics(reg, len(links)),
+		trace: cfg.Trace,
+		seq:   cfg.FirstSeq,
+	}, nil
 }
 
-// Stats returns a snapshot of the sender counters.
+// Metrics returns the registry holding the sender's series (the one from
+// SenderConfig.Metrics, or the private registry created in its absence),
+// for exposition via internal/obs writers.
+func (s *Sender) Metrics() *obs.Registry { return s.met.reg }
+
+// Stats returns a snapshot of the sender counters. Counters are atomic,
+// so the snapshot does not block concurrent Send calls; per-channel
+// counts are summed into the aggregate fields.
 func (s *Sender) Stats() SenderStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := SenderStats{
+		SymbolsSent:    s.met.symbolsSent.Value(),
+		SymbolsStalled: s.met.symbolsStalled.Value(),
+	}
+	for i := range s.met.perChan {
+		st.SharesSent += s.met.perChan[i].sent.Value()
+		st.SharesDropped += s.met.perChan[i].dropped.Value()
+	}
+	return st
 }
 
 // Send transmits one source symbol. It returns ErrBackpressure if no
@@ -96,7 +176,7 @@ func (s *Sender) Send(payload []byte) error {
 
 	k, mask, ok := s.cfg.Chooser.Choose(s.links)
 	if !ok {
-		s.stats.SymbolsStalled++
+		s.met.symbolsStalled.Inc()
 		return ErrBackpressure
 	}
 	m := bits.OnesCount32(mask)
@@ -130,19 +210,24 @@ func (s *Sender) Send(payload []byte) error {
 		if err != nil {
 			return fmt.Errorf("remicss: encoding share: %w", err)
 		}
+		s.met.shareBytes.Observe(int64(len(s.dgram)))
 		if s.links[i].Send(s.dgram) {
-			s.stats.SharesSent++
+			s.met.perChan[i].sent.Inc()
+			s.trace.Record(obs.EventShareSent, int32(i), now, seq, int64(len(s.dgram)))
 		} else {
-			s.stats.SharesDropped++
+			s.met.perChan[i].dropped.Inc()
+			s.trace.Record(obs.EventDatagramDropped, int32(i), now, seq, int64(len(s.dgram)))
 		}
 		shareIdx++
 	}
-	s.stats.SymbolsSent++
+	s.met.symbolsSent.Inc()
 	return nil
 }
 
-// Seq returns the next sequence number to be assigned (i.e. the number of
-// symbols sent so far; stalled attempts do not consume a sequence number).
+// Seq returns the next sequence number to be assigned (FirstSeq plus the
+// number of symbols sent; stalled attempts do not consume a sequence
+// number). Pass it as a replacement sender's FirstSeq to continue the
+// session's sequence space.
 func (s *Sender) Seq() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
+
+	"remicss/internal/obs"
 )
 
 // MaxDatagram is the receive buffer size; larger datagrams are truncated
@@ -72,6 +75,27 @@ type Link struct {
 	rng    *rand.Rand // guarded by mu
 
 	closed bool // guarded by mu
+
+	// Optional observability, attached via Instrument; all nil when
+	// uninstrumented. Handles are atomic, so Send updates them outside mu.
+	metSent    *obs.Counter
+	metPaced   *obs.Counter
+	metLost    *obs.Counter
+	metSockErr *obs.Counter
+}
+
+// Instrument registers per-channel series on reg and mirrors Send outcomes
+// into them: udp_sent_datagrams_total (socket writes issued, immediate or
+// deferred), udp_paced_drops_total (sends refused by pacing or a closed
+// link), udp_impairment_lost_total (datagrams the userspace impairment
+// dropped), and udp_socket_errors_total (socket writes that failed), all
+// labeled {channel="i"}. Call before traffic starts.
+func (l *Link) Instrument(reg *obs.Registry, channel int) {
+	label := obs.Label{Key: "channel", Value: strconv.Itoa(channel)}
+	l.metSent = reg.Counter("udp_sent_datagrams_total", label)
+	l.metPaced = reg.Counter("udp_paced_drops_total", label)
+	l.metLost = reg.Counter("udp_impairment_lost_total", label)
+	l.metSockErr = reg.Counter("udp_socket_errors_total", label)
 }
 
 // Dial opens a channel to the receiver address ("host:port"). rate > 0
@@ -171,12 +195,18 @@ func (l *Link) Send(datagram []byte) bool {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		if l.metPaced != nil {
+			l.metPaced.Inc()
+		}
 		return false
 	}
 	if l.rate > 0 {
 		l.refill(time.Now())
 		if l.tokens < 1 {
 			l.mu.Unlock()
+			if l.metPaced != nil {
+				l.metPaced.Inc()
+			}
 			return false
 		}
 		l.tokens--
@@ -190,6 +220,9 @@ func (l *Link) Send(datagram []byte) bool {
 	l.mu.Unlock()
 
 	if drop {
+		if l.metLost != nil {
+			l.metLost.Inc()
+		}
 		return true // accepted, then "lost on the wire"
 	}
 	if impaired && delay > 0 {
@@ -197,18 +230,32 @@ func (l *Link) Send(datagram []byte) bool {
 		// buffer.
 		buf := make([]byte, len(datagram))
 		copy(buf, datagram)
+		if l.metSent != nil {
+			l.metSent.Inc()
+		}
 		time.AfterFunc(delay, func() {
 			l.mu.Lock()
 			closed := l.closed
 			l.mu.Unlock()
 			if !closed {
-				l.conn.Write(buf)
+				if _, err := l.conn.Write(buf); err != nil && l.metSockErr != nil {
+					l.metSockErr.Inc()
+				}
 			}
 		})
 		return true
 	}
 	_, err := l.conn.Write(datagram)
-	return err == nil
+	if l.metSent != nil {
+		l.metSent.Inc()
+	}
+	if err != nil {
+		if l.metSockErr != nil {
+			l.metSockErr.Inc()
+		}
+		return false
+	}
+	return true
 }
 
 // LocalAddr returns the local socket address.
@@ -231,6 +278,34 @@ type Listener struct {
 	mu     sync.Mutex
 	wg     sync.WaitGroup
 	closed bool // guarded by mu
+
+	// Optional per-socket receive counters, attached via Instrument; nil
+	// slices when uninstrumented. Indexed like conns.
+	metRecv      []*obs.Counter
+	metRecvBytes []*obs.Counter
+}
+
+// Instrument registers per-socket receive series on reg —
+// udp_recv_datagrams_total{channel="i"} and
+// udp_recv_bytes_total{channel="i"}, indexed in Addrs order — and updates
+// them from the reader goroutines. Call before Serve or ServeConcurrent.
+func (l *Listener) Instrument(reg *obs.Registry) {
+	l.metRecv = make([]*obs.Counter, len(l.conns))
+	l.metRecvBytes = make([]*obs.Counter, len(l.conns))
+	for i := range l.conns {
+		label := obs.Label{Key: "channel", Value: strconv.Itoa(i)}
+		l.metRecv[i] = reg.Counter("udp_recv_datagrams_total", label)
+		l.metRecvBytes[i] = reg.Counter("udp_recv_bytes_total", label)
+	}
+}
+
+// countRecv updates the receive counters for socket i, if instrumented.
+func (l *Listener) countRecv(i, n int) {
+	if l.metRecv == nil {
+		return
+	}
+	l.metRecv[i].Inc()
+	l.metRecvBytes[i].Add(int64(n))
 }
 
 // Listen binds one UDP socket per address. Addresses may use port 0 to let
@@ -272,8 +347,8 @@ func (l *Listener) Addrs() []string {
 // immediately; Close stops the readers and waits for them.
 func (l *Listener) Serve(handle func(datagram []byte)) {
 	var handleMu sync.Mutex
-	for _, conn := range l.conns {
-		conn := conn
+	for i, conn := range l.conns {
+		i, conn := i, conn
 		l.wg.Add(1)
 		go func() {
 			defer l.wg.Done()
@@ -283,6 +358,7 @@ func (l *Listener) Serve(handle func(datagram []byte)) {
 				if err != nil {
 					return // closed
 				}
+				l.countRecv(i, n)
 				datagram := make([]byte, n)
 				copy(datagram, buf[:n])
 				handleMu.Lock()
@@ -302,8 +378,8 @@ func (l *Listener) Serve(handle func(datagram []byte)) {
 // ingest from the others. Returns immediately; Close stops the readers and
 // waits for them.
 func (l *Listener) ServeConcurrent(handle func(datagram []byte)) {
-	for _, conn := range l.conns {
-		conn := conn
+	for i, conn := range l.conns {
+		i, conn := i, conn
 		l.wg.Add(1)
 		go func() {
 			defer l.wg.Done()
@@ -313,6 +389,7 @@ func (l *Listener) ServeConcurrent(handle func(datagram []byte)) {
 				if err != nil {
 					return // closed
 				}
+				l.countRecv(i, n)
 				handle(buf[:n])
 			}
 		}()

@@ -1,0 +1,52 @@
+package remicss
+
+import (
+	"net/http"
+
+	"remicss/internal/obs"
+)
+
+// Observability facade: aliases over internal/obs so applications embedding
+// the protocol can share a metrics registry and event trace with it, expose
+// them over HTTP, and reconcile live sessions against the paper's model
+// without importing internal packages.
+
+// MetricsRegistry holds metric series (counters, gauges, histograms) for
+// every instrumented component that shares it. See SessionConfig.Metrics.
+type MetricsRegistry = obs.Registry
+
+// MetricLabel is one key=value dimension on a metric series.
+type MetricLabel = obs.Label
+
+// EventTrace is a lock-free ring buffer of structured protocol events
+// (shares sent, datagrams dropped, symbols delivered, ...). A nil trace is
+// valid and records nothing.
+type EventTrace = obs.Trace
+
+// TraceEvent is one structured event held by an EventTrace.
+type TraceEvent = obs.Event
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventTrace builds an event ring holding capacity events (rounded up
+// to a power of two; <= 0 uses the default of 4096).
+func NewEventTrace(capacity int) *EventTrace { return obs.NewTrace(capacity) }
+
+// NewMetricsHandler returns an HTTP handler exposing the registry (and,
+// when non-nil, the trace) at /metrics, /metrics.json, /trace, /healthz,
+// and /debug/pprof/.
+func NewMetricsHandler(r *MetricsRegistry, t *EventTrace) http.Handler {
+	return obs.NewHandler(r, t)
+}
+
+// MetricsServer is a running metrics endpoint started by
+// StartMetricsServer.
+type MetricsServer = obs.Server
+
+// StartMetricsServer binds addr and serves NewMetricsHandler in a
+// background goroutine. The caller should Close the returned server on
+// shutdown.
+func StartMetricsServer(addr string, r *MetricsRegistry, t *EventTrace) (*MetricsServer, error) {
+	return obs.StartServer(addr, r, t)
+}

@@ -32,6 +32,15 @@ type SessionConfig struct {
 	// the protocol defaults).
 	Timeout    time.Duration
 	MaxPending int
+	// Metrics, when non-nil, receives the session's metric series —
+	// protocol counters and histograms plus per-channel UDP transport
+	// counters. Nil gives each endpoint a private registry, still readable
+	// via Client.Metrics / Server.Metrics.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, receives structured protocol events
+	// (share-sent, datagram-dropped, symbol-delivered, ...). Nil disables
+	// tracing.
+	Trace *EventTrace
 }
 
 func (c SessionConfig) scheme() (SharingScheme, error) {
@@ -91,10 +100,17 @@ func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		for i, l := range links {
+			l.(*UDPLink).Instrument(cfg.Metrics, i)
+		}
+	}
 	sender, err := NewSender(SenderConfig{
 		Scheme:  scheme,
 		Chooser: chooser,
 		Clock:   WallClock,
+		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
 	}, links)
 	if err != nil {
 		for _, l := range links {
@@ -139,6 +155,10 @@ var ErrClosed = errors.New("remicss: session closed")
 // Stats returns the sender counters.
 func (c *Client) Stats() SenderStats { return c.sender.Stats() }
 
+// Metrics returns the registry holding the client's series (the one from
+// SessionConfig.Metrics, or the private registry created in its absence).
+func (c *Client) Metrics() *MetricsRegistry { return c.sender.Metrics() }
+
 // Close releases the channel sockets.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -181,6 +201,8 @@ func Serve(addrs []string, cfg SessionConfig, onMessage func(seq uint64, payload
 		OnSymbol:   onMessage,
 		Timeout:    cfg.Timeout,
 		MaxPending: cfg.MaxPending,
+		Metrics:    cfg.Metrics,
+		Trace:      cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -188,6 +210,9 @@ func Serve(addrs []string, cfg SessionConfig, onMessage func(seq uint64, payload
 	listener, err := ListenUDP(addrs)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		listener.Instrument(cfg.Metrics)
 	}
 	s := &Server{listener: listener, receiver: receiver}
 	// HandleDatagram only reads the buffer during the call, which is
@@ -202,6 +227,10 @@ func (s *Server) Addrs() []string { return s.listener.Addrs() }
 
 // Stats returns the receiver counters.
 func (s *Server) Stats() ReceiverStats { return s.receiver.Stats() }
+
+// Metrics returns the registry holding the server's series (the one from
+// SessionConfig.Metrics, or the private registry created in its absence).
+func (s *Server) Metrics() *MetricsRegistry { return s.receiver.Metrics() }
 
 // Close shuts the channel sockets down and stops the reader goroutines.
 func (s *Server) Close() error { return s.listener.Close() }
