@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"remicss/internal/obs"
+	"remicss/internal/remicss"
+	"remicss/internal/sharing"
+)
+
+// benchPayloadBytes is the symbol size for the pipeline benchmarks,
+// matching DefaultPayloadBytes and the in-package hot-path benchmarks.
+const benchPayloadBytes = 1400
+
+// discardLink accepts and drops every datagram, isolating the sender's own
+// cost the same way the in-package benchmarks do.
+type discardLink struct{}
+
+func (discardLink) Send(datagram []byte) bool { return true }
+func (discardLink) Writable() bool            { return true }
+func (discardLink) Backlog() time.Duration    { return 0 }
+
+// benchRunner is testing.Benchmark, swappable in tests so the smoke test
+// does not spend a second per benchmark.
+var benchRunner = testing.Benchmark
+
+// benchEntry is one benchmark result in the JSON report.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+}
+
+// benchReport is the BENCH_pipeline.json schema. Host facts are recorded
+// so a single-core result is never mistaken for a parallel-speedup claim.
+type benchReport struct {
+	Schema       string       `json:"schema"`
+	GOOS         string       `json:"goos"`
+	GOARCH       string       `json:"goarch"`
+	NumCPU       int          `json:"num_cpu"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	PayloadBytes int          `json:"payload_bytes"`
+	Benchmarks   []benchEntry `json:"benchmarks"`
+	// ParallelSpeedup maps each scheme path to ops/s(send_parallel) over
+	// ops/s(send_serialized): the aggregate-throughput gain of the
+	// lock-split sender over the single-mutex design at this GOMAXPROCS.
+	ParallelSpeedup map[string]float64 `json:"parallel_speedup"`
+}
+
+// newBenchSender builds the benchmark sender: m discard links, fixed
+// (k, mask), constant clock, metrics and tracing on (throughput numbers
+// must include the instrumentation cost, per the obs design contract).
+func newBenchSender(k, m int) (*remicss.Sender, error) {
+	links := make([]remicss.Link, m)
+	for i := range links {
+		links[i] = discardLink{}
+	}
+	return remicss.NewSender(remicss.SenderConfig{
+		Scheme:  sharing.NewAuto(nil), // crypto/rand: safe for concurrent Send
+		Chooser: remicss.FixedChooser{K: k, Mask: 1<<uint(m) - 1},
+		Clock:   func() time.Duration { return 0 },
+		Metrics: obs.NewRegistry(),
+		Trace:   obs.NewTrace(1 << 12),
+	}, links)
+}
+
+// toEntry converts a testing.BenchmarkResult.
+func toEntry(name string, r testing.BenchmarkResult) benchEntry {
+	e := benchEntry{
+		Name:        name,
+		Ops:         r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if e.NsPerOp > 0 {
+		e.OpsPerSec = 1e9 / e.NsPerOp
+		e.MBPerSec = float64(benchPayloadBytes) * e.OpsPerSec / 1e6
+	}
+	return e
+}
+
+// runBenchJSON runs the parallel-pipeline benchmark suite and writes the
+// report to path. The suite mirrors the in-package benchmarks
+// (BenchmarkSendParallel / BenchmarkSendSerialized / BenchmarkSendBatch):
+// for each scheme fast path it measures aggregate Send throughput with
+// every proc hammering one sender, then the identical workload forced
+// through one global mutex — the pre-refactor design — and reports the
+// ratio.
+func runBenchJSON(path string) error {
+	payload := bytes.Repeat([]byte{0x5a}, benchPayloadBytes)
+	paths := []struct {
+		name string
+		k, m int
+	}{
+		{"replication-1of3", 1, 3},
+		{"xor-3of3", 3, 3},
+	}
+
+	report := benchReport{
+		Schema:          "remicss-bench-pipeline/v1",
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		PayloadBytes:    benchPayloadBytes,
+		ParallelSpeedup: make(map[string]float64),
+	}
+
+	for _, tc := range paths {
+		par, err := newBenchSender(tc.k, tc.m)
+		if err != nil {
+			return err
+		}
+		parRes := benchRunner(func(b *testing.B) {
+			b.SetBytes(benchPayloadBytes)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := par.Send(payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+		parEntry := toEntry("send_parallel/"+tc.name, parRes)
+		report.Benchmarks = append(report.Benchmarks, parEntry)
+
+		ser, err := newBenchSender(tc.k, tc.m)
+		if err != nil {
+			return err
+		}
+		var mu sync.Mutex
+		serRes := benchRunner(func(b *testing.B) {
+			b.SetBytes(benchPayloadBytes)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					mu.Lock()
+					err := ser.Send(payload)
+					mu.Unlock()
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+		serEntry := toEntry("send_serialized/"+tc.name, serRes)
+		report.Benchmarks = append(report.Benchmarks, serEntry)
+
+		if serEntry.OpsPerSec > 0 {
+			report.ParallelSpeedup[tc.name] = parEntry.OpsPerSec / serEntry.OpsPerSec
+		}
+	}
+
+	// The amortized burst path, single caller.
+	const burst = 16
+	payloads := make([][]byte, burst)
+	for i := range payloads {
+		payloads[i] = payload
+	}
+	batch, err := newBenchSender(1, 3)
+	if err != nil {
+		return err
+	}
+	batchRes := benchRunner(func(b *testing.B) {
+		b.SetBytes(burst * benchPayloadBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := batch.SendBatch(payloads); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	be := toEntry("send_batch/replication-1of3-burst16", batchRes)
+	// One op is a 16-symbol burst; report per-symbol rates.
+	be.OpsPerSec *= burst
+	be.MBPerSec = float64(benchPayloadBytes) * be.OpsPerSec / 1e6
+	report.Benchmarks = append(report.Benchmarks, be)
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	for _, e := range report.Benchmarks {
+		fmt.Printf("%-40s %12.0f ops/s %10.0f ns/op %4d allocs/op\n",
+			e.Name, e.OpsPerSec, e.NsPerOp, e.AllocsPerOp)
+	}
+	for name, s := range report.ParallelSpeedup {
+		fmt.Printf("parallel speedup (%s, GOMAXPROCS=%d): %.2fx\n", name, report.GOMAXPROCS, s)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

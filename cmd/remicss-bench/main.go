@@ -31,14 +31,19 @@ func main() {
 
 func run() error {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2, 3-identical, 3-diverse, 4, 5, 6, 7, compare, ablations, adaptive, limited, all")
-		duration = flag.Duration("duration", 2*time.Second, "virtual measurement window per point")
-		muStep   = flag.Float64("mustep", 0.25, "μ sweep step (paper: 0.1)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace, and pprof on this address while the sweep runs (e.g. 127.0.0.1:9090)")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2, 3-identical, 3-diverse, 4, 5, 6, 7, compare, ablations, adaptive, limited, all")
+		duration  = flag.Duration("duration", 2*time.Second, "virtual measurement window per point")
+		muStep    = flag.Float64("mustep", 0.25, "μ sweep step (paper: 0.1)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace, and pprof on this address while the sweep runs (e.g. 127.0.0.1:9090)")
+		benchJSON = flag.String("bench-json", "", "run the parallel share-pipeline benchmarks instead of figures and write the JSON report to this path (e.g. BENCH_pipeline.json)")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON)
+	}
 
 	fc := bench.FigureConfig{
 		Duration: *duration,

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -32,5 +36,74 @@ func TestFigureRunnersSmoke(t *testing.T) {
 	}
 	if err := fig3(bench.Identical(100), tinyCfg(), true); err != nil {
 		t.Errorf("fig3: %v", err)
+	}
+}
+
+// TestBenchJSONReport exercises the -bench-json wiring end to end with the
+// benchmark runner stubbed to a handful of iterations, so the report
+// structure and speedup arithmetic are covered without a seconds-long
+// measurement in the test suite.
+func TestBenchJSONReport(t *testing.T) {
+	saved := benchRunner
+	benchRunner = func(f func(b *testing.B)) testing.BenchmarkResult {
+		res := testing.Benchmark(func(b *testing.B) {
+			if b.N > 16 {
+				b.Skip("stubbed runner stops after the first rounds")
+			}
+			f(b)
+		})
+		if res.N == 0 {
+			// The skip above leaves the final (large-N) round unrecorded;
+			// synthesize a plausible result so toEntry has data.
+			res = testing.BenchmarkResult{N: 16, T: 16 * time.Microsecond}
+		}
+		return res
+	}
+	defer func() { benchRunner = saved }()
+
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	if err := runBenchJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "remicss-bench-pipeline/v1" {
+		t.Errorf("schema %q", report.Schema)
+	}
+	if report.GOMAXPROCS != runtime.GOMAXPROCS(0) || report.NumCPU != runtime.NumCPU() {
+		t.Errorf("host facts not recorded: %+v", report)
+	}
+	want := map[string]bool{
+		"send_parallel/replication-1of3":      false,
+		"send_serialized/replication-1of3":    false,
+		"send_parallel/xor-3of3":              false,
+		"send_serialized/xor-3of3":            false,
+		"send_batch/replication-1of3-burst16": false,
+	}
+	for _, e := range report.Benchmarks {
+		if _, ok := want[e.Name]; !ok {
+			t.Errorf("unexpected benchmark %q", e.Name)
+			continue
+		}
+		want[e.Name] = true
+		if e.Ops <= 0 || e.NsPerOp <= 0 || e.OpsPerSec <= 0 {
+			t.Errorf("%s: degenerate result %+v", e.Name, e)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("benchmark %q missing from report", name)
+		}
+	}
+	for _, path := range []string{"replication-1of3", "xor-3of3"} {
+		if report.ParallelSpeedup[path] <= 0 {
+			t.Errorf("no parallel speedup recorded for %s", path)
+		}
 	}
 }

@@ -9,19 +9,22 @@ import (
 )
 
 // gatherIndex splits a registry snapshot into label-summed counter totals,
-// per-channel counter values, and named histograms, for reconciliation.
+// per-channel and per-shard counter values, and named histograms, for
+// reconciliation.
 type gatherIndex struct {
 	totals  map[string]int64            // counters and gauges, summed over labels
 	byChan  map[string]map[string]int64 // name -> channel label -> value
+	byShard map[string]map[string]int64 // name -> shard label -> value
 	hists   map[string]*obs.HistogramSnapshot
 	pending int64
 }
 
 func indexRegistry(reg *obs.Registry) gatherIndex {
 	idx := gatherIndex{
-		totals: make(map[string]int64),
-		byChan: make(map[string]map[string]int64),
-		hists:  make(map[string]*obs.HistogramSnapshot),
+		totals:  make(map[string]int64),
+		byChan:  make(map[string]map[string]int64),
+		byShard: make(map[string]map[string]int64),
+		hists:   make(map[string]*obs.HistogramSnapshot),
 	}
 	for _, s := range reg.Gather() {
 		if s.Hist != nil {
@@ -33,14 +36,21 @@ func indexRegistry(reg *obs.Registry) gatherIndex {
 			idx.pending = s.Value
 		}
 		for _, l := range s.Labels {
-			if l.Key == "channel" {
-				m := idx.byChan[s.Name]
-				if m == nil {
-					m = make(map[string]int64)
-					idx.byChan[s.Name] = m
-				}
-				m[l.Value] = s.Value
+			var m map[string]map[string]int64
+			switch l.Key {
+			case "channel":
+				m = idx.byChan
+			case "shard":
+				m = idx.byShard
+			default:
+				continue
 			}
+			inner := m[s.Name]
+			if inner == nil {
+				inner = make(map[string]int64)
+				m[s.Name] = inner
+			}
+			inner[l.Value] = s.Value
 		}
 	}
 	return idx
@@ -64,6 +74,7 @@ func TestObsCrossValidation(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			reg := obs.NewRegistry()
 			trace := obs.NewTrace(1 << 15)
+			const shards = 8 // pinned: per-shard accounting must reconcile on any host
 			res, err := Run(RunConfig{
 				Setup:       tc.setup,
 				Kappa:       1,
@@ -71,6 +82,7 @@ func TestObsCrossValidation(t *testing.T) {
 				OfferedMbps: 20,
 				Duration:    150 * time.Millisecond,
 				Seed:        42,
+				Shards:      shards,
 				Obs:         reg,
 				Trace:       trace,
 			})
@@ -207,6 +219,33 @@ func TestObsCrossValidation(t *testing.T) {
 			// MaxPending — so the gauge must equal the delivery count.
 			if idx.pending != res.Receiver.SymbolsDelivered {
 				t.Errorf("pending gauge %d, want %d tombstones", idx.pending, res.Receiver.SymbolsDelivered)
+			}
+
+			// Per-shard series vs aggregates: the sharded receiver maintains
+			// the unlabeled series by the exact same admissions and drops
+			// that move the shard series, so the shard sums must reconcile
+			// with no tolerance.
+			shardPending := idx.byShard["remicss_receiver_shard_pending"]
+			if len(shardPending) != shards {
+				t.Fatalf("%d shard pending series, want %d", len(shardPending), shards)
+			}
+			var pendingSum int64
+			for _, v := range shardPending {
+				pendingSum += v
+			}
+			if pendingSum != idx.pending {
+				t.Errorf("shard pending sum %d != aggregate pending gauge %d", pendingSum, idx.pending)
+			}
+			shardEvictions := idx.byShard["remicss_receiver_shard_evictions_total"]
+			if len(shardEvictions) != shards {
+				t.Fatalf("%d shard eviction series, want %d", len(shardEvictions), shards)
+			}
+			var evictionSum int64
+			for _, v := range shardEvictions {
+				evictionSum += v
+			}
+			if evictionSum != res.Receiver.SymbolsEvicted {
+				t.Errorf("shard eviction sum %d != symbols evicted %d", evictionSum, res.Receiver.SymbolsEvicted)
 			}
 		})
 	}

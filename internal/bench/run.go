@@ -93,6 +93,11 @@ type RunConfig struct {
 	// ReassemblyTimeout overrides the receiver eviction timeout. Defaults
 	// to 500ms, comfortably above every setup's delays.
 	ReassemblyTimeout time.Duration
+	// Shards overrides the receiver's reassembly shard count (see
+	// remicss.ReceiverConfig.Shards). 0 keeps the GOMAXPROCS default; the
+	// cross-validation tests pin it so per-shard accounting is exercised
+	// identically on any host.
+	Shards int
 	// Obs, when non-nil, receives every metric series the run produces:
 	// protocol counters/histograms plus per-channel netem link counters.
 	// This is how the cross-validation tests reconcile observability
@@ -178,6 +183,7 @@ func Run(cfg RunConfig) (Result, error) {
 		Scheme:  scheme,
 		Clock:   eng.Now,
 		Timeout: cfg.ReassemblyTimeout,
+		Shards:  cfg.Shards,
 		Metrics: cfg.Obs,
 		Trace:   cfg.Trace,
 		OnSymbol: func(_ uint64, _ []byte, delay time.Duration) {

@@ -11,7 +11,10 @@
 // each byte an element of this field.
 package gf256
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // poly is the AES irreducible polynomial x^8+x^4+x^3+x+1 used for reduction.
 const poly = 0x11b
@@ -28,7 +31,16 @@ var (
 	logTable [256]byte
 )
 
-func init() {
+// initTables builds every lookup table in this package — exp/log first, then
+// the 64 KiB multiplication table the slice kernels index. All construction
+// lives in one function so there is exactly one ordering, independent of the
+// source-file order Go would otherwise use to sequence per-file init funcs.
+// sync.OnceFunc makes explicit calls from any entry point idempotent.
+var initTables = sync.OnceFunc(buildTables)
+
+func init() { initTables() }
+
+func buildTables() {
 	x := 1
 	for i := 0; i < 255; i++ {
 		expTable[i] = byte(x)
@@ -38,6 +50,15 @@ func init() {
 		x = x<<1 ^ x
 		if x >= 0x100 {
 			x ^= poly
+		}
+	}
+	// mulTable[c][a] = c*a, derived from the log/exp tables built above.
+	// Row and column 0 stay zero from the array's zero value.
+	for c := 1; c < 256; c++ {
+		row := &mulTable[c]
+		logC := int(logTable[c])
+		for a := 1; a < 256; a++ {
+			row[a] = expTable[logC+int(logTable[a])]
 		}
 	}
 }

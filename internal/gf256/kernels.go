@@ -13,22 +13,9 @@ package gf256
 // buffer management, never a runtime condition.
 
 // mulTable[c] is the multiplication-by-c row: mulTable[c][a] = c*a. 64 KiB,
-// built once at init from the log/exp tables; row access makes the slice
-// kernels branch-free per byte.
+// built by initTables (gf256.go) together with the log/exp tables it is
+// derived from; row access makes the slice kernels branch-free per byte.
 var mulTable [256][256]byte
-
-func init() {
-	// expTable/logTable are filled by the init in gf256.go; Go runs init
-	// functions within a package in source-file order (gf256.go < kernels.go),
-	// so the scalar tables are ready here.
-	for c := 1; c < 256; c++ {
-		row := &mulTable[c]
-		logC := int(logTable[c])
-		for a := 1; a < 256; a++ {
-			row[a] = expTable[logC+int(logTable[a])]
-		}
-	}
-}
 
 // MulSlice sets dst[i] = c * src[i] for every i. dst and src may be the
 // same slice (in-place scaling); partial overlap is not supported.
@@ -91,6 +78,58 @@ func MulAddSlice(acc []byte, x byte, coeff []byte) {
 	row := &mulTable[x]
 	for i, a := range acc {
 		acc[i] = row[a] ^ coeff[i]
+	}
+}
+
+// HornerBlock evaluates the window [lo, hi) of a batch of polynomials at x,
+// fused across every coefficient block: with blocks ordered highest-degree
+// coefficient first and ending with the constant term, it computes
+//
+//	dst[i] = (...((blocks[0][i]*x ^ blocks[1][i])*x ^ blocks[2][i])...)*x ^ blocks[last][i]
+//
+// for i in [lo, hi). Iterating lo over L1-sized tiles and, inside each tile,
+// over every evaluation point keeps the coefficient tile cache-resident while
+// all shares are produced from it — the loop-interchanged form of calling
+// MulAddSlice once per block over the full length. The inner loop is 8-way
+// unrolled: one table load and one XOR per byte against a single pinned row.
+// dst must not overlap any block; every block must cover [lo, hi).
+//
+//remicss:noalloc
+func HornerBlock(dst []byte, x byte, blocks [][]byte, lo, hi int) {
+	if len(blocks) == 0 {
+		panic("gf256: HornerBlock with no coefficient blocks")
+	}
+	if lo < 0 || hi < lo || hi > len(dst) {
+		panic("gf256: HornerBlock window out of range")
+	}
+	for _, b := range blocks {
+		if len(b) < hi {
+			panic("gf256: HornerBlock coefficient block shorter than window")
+		}
+	}
+	if x == 0 {
+		// Every higher-degree term vanishes; the value is the constant term.
+		copy(dst[lo:hi], blocks[len(blocks)-1][lo:hi])
+		return
+	}
+	copy(dst[lo:hi], blocks[0][lo:hi])
+	row := &mulTable[x]
+	for _, c := range blocks[1:] {
+		d, s := dst[lo:hi], c[lo:hi]
+		n := len(d) &^ 7
+		for i := 0; i < n; i += 8 {
+			d[i+0] = row[d[i+0]] ^ s[i+0]
+			d[i+1] = row[d[i+1]] ^ s[i+1]
+			d[i+2] = row[d[i+2]] ^ s[i+2]
+			d[i+3] = row[d[i+3]] ^ s[i+3]
+			d[i+4] = row[d[i+4]] ^ s[i+4]
+			d[i+5] = row[d[i+5]] ^ s[i+5]
+			d[i+6] = row[d[i+6]] ^ s[i+6]
+			d[i+7] = row[d[i+7]] ^ s[i+7]
+		}
+		for i := n; i < len(d); i++ {
+			d[i] = row[d[i]] ^ s[i]
+		}
 	}
 }
 

@@ -68,6 +68,7 @@ func TestConcurrentSendAndIngest(t *testing.T) {
 				},
 				Timeout:    time.Hour,
 				MaxPending: 2 * total,
+				Shards:     8, // exercise cross-shard ingest regardless of host GOMAXPROCS
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -87,8 +88,11 @@ func TestConcurrentSendAndIngest(t *testing.T) {
 				}()
 			}
 
+			// The sender's scheme must use concurrency-safe randomness
+			// (crypto/rand via nil): splits run outside the sender lock, so
+			// a seeded *math/rand.Rand here would race.
 			sender, err := NewSender(SenderConfig{
-				Scheme:  sharing.NewAuto(rand.New(rand.NewSource(1))),
+				Scheme:  sharing.NewAuto(nil),
 				Chooser: FixedChooser{K: tc.k, Mask: 1<<channels - 1},
 				Clock:   func() time.Duration { return 0 },
 			}, links)

@@ -58,6 +58,7 @@ func newEvictionHarness(t *testing.T, k, m, maxPending int) *evictionHarness {
 		Clock:      clock,
 		Timeout:    100 * time.Millisecond,
 		MaxPending: maxPending,
+		Shards:     1, // eviction tests pin the global oldest-first order and exact FIFO capacity
 		Metrics:    obs.NewRegistry(),
 		Trace:      obs.NewTrace(1 << 12),
 		OnSymbol:   func(seq uint64, _ []byte, _ time.Duration) { h.delivered[seq]++ },

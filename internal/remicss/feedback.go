@@ -17,14 +17,14 @@ import (
 // back to the sender over any channel. Safe to call concurrently with
 // datagram ingest.
 func (r *Receiver) MakeReport() []byte {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.reportMu.Lock()
+	defer r.reportMu.Unlock()
 	st := r.Stats()
 	rep := wire.ReportPacket{
 		Epoch:     r.reportEpoch,
 		Delivered: uint64(st.SymbolsDelivered - r.lastReport.SymbolsDelivered),
 		Evicted:   uint64(st.SymbolsEvicted - r.lastReport.SymbolsEvicted),
-		Pending:   uint32(r.order.Len()),
+		Pending:   uint32(r.Pending()),
 	}
 	r.reportEpoch++
 	r.lastReport = st

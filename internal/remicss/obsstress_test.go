@@ -23,7 +23,7 @@ import (
 func TestObservabilityStress(t *testing.T) {
 	const (
 		channels  = 3
-		senders   = 4
+		senders   = 8 // >= 8 concurrent Send callers: the sharded-pipeline stress shape
 		perSender = 300
 	)
 	total := senders * perSender
@@ -38,6 +38,7 @@ func TestObservabilityStress(t *testing.T) {
 		Clock:   func() time.Duration { return 0 },
 		Metrics: reg,
 		Trace:   trace,
+		Shards:  8, // exercise sharded ingest regardless of host GOMAXPROCS
 		OnSymbol: func(seq uint64, payload []byte, _ time.Duration) {
 			id := binary.BigEndian.Uint64(payload)
 			if _, dup := deliveredSeqs.LoadOrStore(id, true); dup {
@@ -56,8 +57,10 @@ func TestObservabilityStress(t *testing.T) {
 		chans[i] = &chanLink{ch: make(chan []byte, 64)}
 		links[i] = chans[i]
 	}
+	// nil scheme randomness = crypto/rand: splits run outside the sender
+	// lock, so a seeded *math/rand.Rand would race across Send goroutines.
 	snd, err := NewSender(SenderConfig{
-		Scheme:  sharing.NewAuto(rand.New(rand.NewSource(12))),
+		Scheme:  sharing.NewAuto(nil),
 		Chooser: FixedChooser{K: 2, Mask: 1<<channels - 1},
 		Clock:   func() time.Duration { return 0 },
 		Metrics: reg,

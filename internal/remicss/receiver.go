@@ -3,6 +3,8 @@ package remicss
 import (
 	"container/list"
 	"fmt"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -60,9 +62,10 @@ type ReceiverConfig struct {
 	Clock func() time.Duration
 	// OnSymbol is invoked for every reconstructed symbol with its one-way
 	// delay (reconstruction time minus the sender's timestamp). The payload
-	// is freshly allocated and owned by the callback. OnSymbol runs with
-	// the receiver's lock held — deliveries are serialized in
-	// reconstruction order — so it must not call back into the Receiver.
+	// is freshly allocated and owned by the callback. OnSymbol runs outside
+	// the reassembly shard locks but under a dedicated delivery mutex —
+	// deliveries arrive one at a time, so the callback needs no internal
+	// locking — and it must not call back into the Receiver.
 	OnSymbol func(seq uint64, payload []byte, delay time.Duration)
 	// Timeout evicts partial symbols idle longer than this. Defaults to
 	// DefaultReassemblyTimeout.
@@ -77,6 +80,15 @@ type ReceiverConfig struct {
 	// Trace, when non-nil, receives symbol-delivered and symbol-evicted
 	// events. Nil disables tracing.
 	Trace *obs.Trace
+	// Shards is the number of independent reassembly shards, rounded up to
+	// a power of two and capped at maxReceiverShards. Incoming shares are
+	// routed to a shard by a mixed hash of their sequence number, so
+	// concurrent transport goroutines (udptrans.ServeConcurrent) contend
+	// per shard rather than on one receiver-wide lock. 0 picks a default
+	// sized to GOMAXPROCS at construction time. 1 restores the single-lock
+	// receiver, whose receiver-wide oldest-first eviction order some tests
+	// pin down.
+	Shards int
 }
 
 // receiverMetrics bundles every handle the ingest path touches. Handles
@@ -113,22 +125,49 @@ func newReceiverMetrics(reg *obs.Registry) receiverMetrics {
 	}
 }
 
+// maxReceiverShards caps the shard count: past this, lock contention is no
+// longer the bottleneck and more shards only multiply per-shard series.
+const maxReceiverShards = 64
+
 // Receiver is the receiving half of the protocol: a reassembly buffer over
-// incoming share datagrams. It is safe for concurrent use: a single mutex
-// serializes HandleDatagram, Tick, MakeReport, and Pending, so datagrams
-// may be ingested directly from multiple transport goroutines; counters
-// are atomic and readable without the lock. Reassembly entries and their
-// share buffers are recycled through a sync.Pool, so steady-state ingest
-// does not allocate per share.
+// incoming share datagrams. It is safe for concurrent use and scales with
+// ingest goroutines: reassembly state is split into seq-hashed shards, each
+// with its own mutex, so HandleDatagram calls for different shards do not
+// contend; counters are atomic and readable without any lock, and symbol
+// delivery is serialized by a dedicated mutex taken outside the shard
+// locks. Reassembly entries and their share buffers are recycled through a
+// sync.Pool, so steady-state ingest does not allocate per share.
 type Receiver struct {
 	cfg   ReceiverConfig
 	met   receiverMetrics
 	trace *obs.Trace
 
+	// shards holds the reassembly state, indexed by a mixed hash of the
+	// sequence number; len(shards) is a power of two and shardMask is
+	// len(shards)-1. The slice itself is read-only after construction.
+	shards    []recvShard
+	shardMask uint64
+
+	// deliverMu serializes OnSymbol callbacks (and their trace events)
+	// across shards. Lock order: a shard mutex is always released before
+	// deliverMu is taken, never the reverse.
+	deliverMu sync.Mutex
+
+	// Feedback report state (see feedback.go).
+	reportMu    sync.Mutex
+	reportEpoch uint64        // guarded by reportMu
+	lastReport  ReceiverStats // guarded by reportMu
+}
+
+// recvShard is one slice of the reassembly state. Every field below the
+// mutex is the sharded counterpart of what used to be a receiver-wide
+// structure; a shard is only ever touched with its own mutex held.
+type recvShard struct {
 	mu sync.Mutex
 
 	// pending maps seq -> reassembly entry; order tracks insertion order
-	// for timeout scans and memory-pressure eviction (oldest first).
+	// for timeout scans and memory-pressure eviction (oldest first within
+	// the shard).
 	pending map[uint64]*list.Element // guarded by mu
 	order   *list.List               // guarded by mu
 
@@ -142,9 +181,21 @@ type Receiver struct {
 	closedFIFO []uint64            // guarded by mu
 	closedHead int                 // guarded by mu
 
-	// Feedback report state (see feedback.go).
-	reportEpoch uint64        // guarded by mu
-	lastReport  ReceiverStats // guarded by mu
+	// maxPending is this shard's slice of ReceiverConfig.MaxPending
+	// (ceiling division); read-only after construction.
+	maxPending int
+
+	// Per-shard series: reassembly depth and evictions for this shard
+	// only. The unlabeled receiver-wide series remain the exact aggregates
+	// (the pending gauge is maintained by ±1 deltas on the same admissions
+	// and drops that move these), which the obs-vs-netem cross-validation
+	// test checks.
+	depth     *obs.Gauge
+	evictions *obs.Counter
+
+	// Pad shards to separate cache lines so one shard's mutex traffic does
+	// not false-share with its neighbors.
+	_ [64]byte
 }
 
 // entry is one symbol being reassembled. A delivered symbol keeps a
@@ -191,6 +242,8 @@ func (e *entry) recycleShares() {
 }
 
 // NewReceiver builds a receiver.
+//
+//lint:allow mutexguard construction: the shards are not published to any other goroutine until NewReceiver returns
 func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if cfg.Scheme == nil {
 		return nil, fmt.Errorf("remicss: nil scheme")
@@ -211,15 +264,49 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Receiver{
-		cfg:        cfg,
-		met:        newReceiverMetrics(reg),
-		trace:      cfg.Trace,
-		pending:    make(map[uint64]*list.Element),
-		order:      list.New(),
-		closed:     make(map[uint64]struct{}),
-		closedFIFO: make([]uint64, 0, closedMemoryFactor*cfg.MaxPending),
-	}, nil
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxReceiverShards {
+		n = maxReceiverShards
+	}
+	// Round up to a power of two so shard routing is a mask, not a mod.
+	for n&(n-1) != 0 {
+		n++
+	}
+	r := &Receiver{
+		cfg:       cfg,
+		met:       newReceiverMetrics(reg),
+		trace:     cfg.Trace,
+		shards:    make([]recvShard, n),
+		shardMask: uint64(n - 1),
+	}
+	perShard := (cfg.MaxPending + n - 1) / n
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.pending = make(map[uint64]*list.Element)
+		sh.order = list.New()
+		sh.closed = make(map[uint64]struct{})
+		sh.closedFIFO = make([]uint64, 0, closedMemoryFactor*perShard)
+		sh.maxPending = perShard
+		label := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		sh.depth = reg.Gauge("remicss_receiver_shard_pending", label)
+		sh.evictions = reg.Counter("remicss_receiver_shard_evictions_total", label)
+	}
+	return r, nil
+}
+
+// shardFor routes a sequence number to its shard. Senders assign seqs
+// sequentially, so the raw low bits would stripe neighbors onto neighboring
+// shards but correlate with any power-of-two traffic pattern; a splitmix64
+// finalizer decorrelates them before masking.
+func (r *Receiver) shardFor(seq uint64) *recvShard {
+	z := seq + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &r.shards[z&r.shardMask]
 }
 
 // Metrics returns the registry holding the receiver's series (the one
@@ -241,42 +328,68 @@ func (r *Receiver) Stats() ReceiverStats {
 	}
 }
 
-// Pending returns the number of reassembly entries held (including
-// delivered tombstones awaiting timeout).
+// Pending returns the number of reassembly entries held across all shards
+// (including delivered tombstones awaiting timeout).
 func (r *Receiver) Pending() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.order.Len()
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // HandleDatagram processes one received share datagram. The buffer is only
-// read, never retained or mutated, so callers may reuse it immediately;
-// concurrent calls from multiple transport goroutines are serialized
-// internally.
+// read, never retained or mutated, so callers may reuse it immediately.
+// Concurrent calls from multiple transport goroutines contend only when
+// their datagrams hash to the same reassembly shard; completed symbols are
+// delivered one at a time under a separate delivery mutex.
 func (r *Receiver) HandleDatagram(buf []byte) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-
 	r.met.datagrams.Inc()
 	now := r.cfg.Clock()
-	r.evictExpired(now)
 
+	// Unmarshal is read-only on buf and needs no lock; only the chosen
+	// shard is locked for the reassembly bookkeeping.
 	pkt, err := wire.Unmarshal(buf)
 	if err != nil {
 		r.met.sharesInvalid.Inc()
 		return
 	}
+	secret, delay, deliver := r.ingest(r.shardFor(pkt.Seq), &pkt, now)
+	if !deliver {
+		return
+	}
+	// The shard lock is already released: reconstruction of other symbols
+	// proceeds while this delivery runs. deliverMu keeps the OnSymbol
+	// contract — one callback at a time — across shards.
+	r.deliverMu.Lock()
+	r.trace.Record(obs.EventSymbolDelivered, -1, now, pkt.Seq, int64(delay))
+	r.cfg.OnSymbol(pkt.Seq, secret, delay)
+	r.deliverMu.Unlock()
+}
 
-	elem, exists := r.pending[pkt.Seq]
+// ingest runs the reassembly state machine for one parsed share under its
+// shard's lock. It returns the reconstructed secret when this share
+// completed the symbol; the caller performs the delivery after releasing
+// the shard lock.
+func (r *Receiver) ingest(sh *recvShard, pkt *wire.SharePacket, now time.Duration) ([]byte, time.Duration, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	r.evictExpired(sh, now)
+
+	elem, exists := sh.pending[pkt.Seq]
 	if !exists {
-		if _, wasClosed := r.closed[pkt.Seq]; wasClosed {
+		if _, wasClosed := sh.closed[pkt.Seq]; wasClosed {
 			// The symbol's tombstone has already been evicted; reopening
 			// the sequence would deliver the symbol a second time once k
 			// stray shares accumulate. Count the straggler as late.
 			r.met.sharesLate.Inc()
-			return
+			return nil, 0, false
 		}
-		r.admit()
+		r.admit(sh)
 		e := entryPool.Get().(*entry)
 		e.seq = pkt.Seq
 		e.k, e.m = int(pkt.K), int(pkt.M)
@@ -284,25 +397,26 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 		e.arrived = now
 		e.haveIdx = 0
 		e.done = false
-		elem = r.order.PushBack(e)
-		r.pending[pkt.Seq] = elem
-		r.met.pending.Set(int64(r.order.Len()))
+		elem = sh.order.PushBack(e)
+		sh.pending[pkt.Seq] = elem
+		r.met.pending.Add(1)
+		sh.depth.Set(int64(sh.order.Len()))
 	}
 	e := elem.Value.(*entry)
 
 	if e.done {
 		r.met.sharesLate.Inc()
-		return
+		return nil, 0, false
 	}
 	if int(pkt.K) != e.k || int(pkt.M) != e.m {
 		// Shares of one symbol must agree on parameters; the first share
 		// seen wins and inconsistent ones are discarded.
 		r.met.sharesInvalid.Inc()
-		return
+		return nil, 0, false
 	}
 	if e.haveIdx&(1<<uint(pkt.Index)) != 0 {
 		r.met.sharesDuplicate.Inc()
-		return
+		return nil, 0, false
 	}
 	e.haveIdx |= 1 << uint(pkt.Index)
 	data := e.grabBuf(len(pkt.Payload))
@@ -311,7 +425,7 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 	r.met.sharesReceived.Inc()
 
 	if len(e.shares) < e.k {
-		return
+		return nil, 0, false
 	}
 	// A nil destination makes CombineInto allocate a fresh secret, whose
 	// ownership transfers to the callback (downstream consumers such as
@@ -323,31 +437,35 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 		// indices are unique, so mark done to stop retrying.
 		e.done = true
 		e.recycleShares()
-		return
+		return nil, 0, false
 	}
 	e.done = true
 	e.recycleShares()
 	r.met.symbolsDeliv.Inc()
 	delay := now - time.Duration(e.sentAt)
 	r.met.delay.Observe(int64(delay))
-	r.trace.Record(obs.EventSymbolDelivered, -1, now, e.seq, int64(delay))
-	r.cfg.OnSymbol(e.seq, secret, delay)
+	return secret, delay, true
 }
 
-// Tick performs timeout eviction; call it periodically when no datagrams
-// are arriving so stale entries do not linger.
+// Tick performs timeout eviction across every shard; call it periodically
+// when no datagrams are arriving so stale entries do not linger.
 func (r *Receiver) Tick() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.evictExpired(r.cfg.Clock())
+	now := r.cfg.Clock()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		r.evictExpired(sh, now)
+		sh.mu.Unlock()
+	}
 }
 
-// evictExpired drops entries older than the timeout (oldest first).
+// evictExpired drops the shard's entries older than the timeout (oldest
+// first).
 //
-//lint:allow mutexguard callers hold mu
-func (r *Receiver) evictExpired(now time.Duration) {
+//lint:allow mutexguard callers hold sh.mu
+func (r *Receiver) evictExpired(sh *recvShard, now time.Duration) {
 	for {
-		front := r.order.Front()
+		front := sh.order.Front()
 		if front == nil {
 			return
 		}
@@ -355,53 +473,56 @@ func (r *Receiver) evictExpired(now time.Duration) {
 		if now-e.arrived < r.cfg.Timeout {
 			return
 		}
-		r.drop(front, e, now)
+		r.drop(sh, front, e, now)
 	}
 }
 
-// admit makes room for a new entry under the memory cap.
+// admit makes room for a new entry under the shard's slice of the memory
+// cap.
 //
-//lint:allow mutexguard callers hold mu
-func (r *Receiver) admit() {
-	for r.order.Len() >= r.cfg.MaxPending {
-		front := r.order.Front()
+//lint:allow mutexguard callers hold sh.mu
+func (r *Receiver) admit(sh *recvShard) {
+	for sh.order.Len() >= sh.maxPending {
+		front := sh.order.Front()
 		e := front.Value.(*entry)
-		r.drop(front, e, e.arrived+r.cfg.Timeout)
+		r.drop(sh, front, e, e.arrived+r.cfg.Timeout)
 	}
 }
 
-// rememberClosed records a tombstone's sequence number in the bounded
-// closed-symbol memory, evicting the oldest remembered seq once the ring
-// is full.
+// rememberClosed records a tombstone's sequence number in the shard's
+// bounded closed-symbol memory, evicting the oldest remembered seq once
+// the ring is full.
 //
-//lint:allow mutexguard callers hold mu
-func (r *Receiver) rememberClosed(seq uint64) {
-	if len(r.closedFIFO) < cap(r.closedFIFO) {
-		r.closedFIFO = append(r.closedFIFO, seq)
+//lint:allow mutexguard callers hold sh.mu
+func (sh *recvShard) rememberClosed(seq uint64) {
+	if len(sh.closedFIFO) < cap(sh.closedFIFO) {
+		sh.closedFIFO = append(sh.closedFIFO, seq)
 	} else {
-		delete(r.closed, r.closedFIFO[r.closedHead])
-		r.closedFIFO[r.closedHead] = seq
-		r.closedHead = (r.closedHead + 1) % len(r.closedFIFO)
+		delete(sh.closed, sh.closedFIFO[sh.closedHead])
+		sh.closedFIFO[sh.closedHead] = seq
+		sh.closedHead = (sh.closedHead + 1) % len(sh.closedFIFO)
 	}
-	r.closed[seq] = struct{}{}
+	sh.closed[seq] = struct{}{}
 }
 
-// drop removes one reassembly entry and recycles it. now is the eviction
-// timestamp for trace purposes.
+// drop removes one reassembly entry from its shard and recycles it. now is
+// the eviction timestamp for trace purposes.
 //
-//lint:allow mutexguard callers hold mu
-func (r *Receiver) drop(elem *list.Element, e *entry, now time.Duration) {
-	r.order.Remove(elem)
-	delete(r.pending, e.seq)
+//lint:allow mutexguard callers hold sh.mu
+func (r *Receiver) drop(sh *recvShard, elem *list.Element, e *entry, now time.Duration) {
+	sh.order.Remove(elem)
+	delete(sh.pending, e.seq)
 	if e.done {
 		// Delivered (or combine-failed) symbols must never be re-admitted
 		// by stragglers; remember the closed seq.
-		r.rememberClosed(e.seq)
+		sh.rememberClosed(e.seq)
 	} else {
 		r.met.symbolsEvicted.Inc()
+		sh.evictions.Inc()
 		r.trace.Record(obs.EventSymbolEvicted, -1, now, e.seq, int64(len(e.shares)))
 	}
-	r.met.pending.Set(int64(r.order.Len()))
+	r.met.pending.Add(-1)
+	sh.depth.Set(int64(sh.order.Len()))
 	e.recycleShares()
 	entryPool.Put(e)
 }

@@ -426,6 +426,7 @@ func TestReceiverMemoryPressureEviction(t *testing.T) {
 		Clock:      func() time.Duration { return 0 },
 		OnSymbol:   func(uint64, []byte, time.Duration) {},
 		MaxPending: 10,
+		Shards:     1, // the exact oldest-first eviction count below needs one global LRU
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remicss/internal/obs"
@@ -31,7 +32,11 @@ type SenderStats struct {
 // SenderConfig configures a Sender. Scheme, Chooser, and Clock are
 // required.
 type SenderConfig struct {
-	// Scheme splits symbols into shares.
+	// Scheme splits symbols into shares. Splits run concurrently outside
+	// the sender's locks, so the scheme — including its randomness source —
+	// must be safe for concurrent use. The default crypto/rand source is;
+	// a seeded *math/rand.Rand (deterministic tests) is not, and such
+	// senders must be driven from a single goroutine.
 	Scheme sharing.Scheme
 	// Chooser picks (k, M) per symbol.
 	Chooser Chooser
@@ -92,26 +97,94 @@ func newSenderMetrics(reg *obs.Registry, n int) senderMetrics {
 }
 
 // Sender is the sending half of the protocol. It is safe for concurrent
-// use: a single mutex serializes Send and Seq, and the chooser and scratch
-// buffers are only touched under it; counters are atomic and readable
-// without the lock. The steady-state Send path reuses a per-sender share
-// slice and one marshal buffer, so the replication and XOR schemes
-// transmit without heap allocation even with metrics and tracing on;
-// links must therefore not retain the datagram slice after Send returns
-// (see the Link contract).
+// use and, unlike the earlier single-mutex design, scales with callers:
+// sequence numbers are assigned atomically, split and marshal run outside
+// any lock on per-caller scratch recycled through a sync.Pool, the chooser
+// (the only remaining shared mutable state) is serialized by its own small
+// mutex, and each link has its own send lock so concurrent callers fanning
+// out to disjoint links proceed in parallel. Counters are atomic and
+// readable without any lock.
+//
+// The steady-state Send path reuses pooled share slices and one marshal
+// buffer per caller, so the replication and XOR schemes transmit without
+// heap allocation even with metrics and tracing on; links must therefore
+// not retain the datagram slice after Send returns (see the Link contract).
+//
+// Because splits now run concurrently, the configured Scheme — including
+// its randomness source — must be safe for concurrent use. The default
+// crypto/rand.Reader is; a seeded *math/rand.Rand (test determinism) is
+// not, and such senders must be driven from one goroutine.
 type Sender struct {
 	cfg   SenderConfig
 	links []Link
 	met   senderMetrics
 	trace *obs.Trace
 
-	mu  sync.Mutex
-	seq uint64 // guarded by mu
-	// shares and dgram are Send scratch, reused across calls: shares
-	// holds the split output (share payload buffers are recycled by the
-	// scheme's into path), dgram holds one marshaled datagram at a time.
-	shares []sharing.Share // guarded by mu
-	dgram  []byte          // guarded by mu
+	// seq is the next sequence number to assign. Atomic: Send claims
+	// numbers with a single Add, no lock held.
+	seq atomic.Uint64
+
+	// chooser is the shared channel-selection state (DynamicChooser carries
+	// a PRNG and scratch). guarded by chooserMu.
+	chooser   Chooser
+	chooserMu sync.Mutex
+
+	// linkMu[i] serializes Send calls on links[i] only, so concurrent
+	// symbols contend per link rather than per sender.
+	linkMu []sync.Mutex
+
+	// Per-caller scratch: scratchSlot holds one *sendScratch claimed and
+	// returned with single atomic operations — the deterministic path a
+	// lone caller always hits — and scratch is the sync.Pool overflow that
+	// serves additional concurrent callers. (The pool alone would not do:
+	// under the race detector it deliberately drops Put items, which would
+	// make the zero-allocation pins flaky.)
+	scratchSlot atomic.Pointer[sendScratch]
+	scratch     sync.Pool
+}
+
+// getScratch claims a private working set for one Send/SendBatch call.
+func (s *Sender) getScratch() *sendScratch {
+	if sc := s.scratchSlot.Swap(nil); sc != nil {
+		return sc
+	}
+	return s.scratch.Get().(*sendScratch)
+}
+
+// putScratch returns a working set claimed by getScratch.
+func (s *Sender) putScratch(sc *sendScratch) {
+	if s.scratchSlot.CompareAndSwap(nil, sc) {
+		return
+	}
+	s.scratch.Put(sc)
+}
+
+// sendScratch is the per-call working set: the split output (share payload
+// buffers are recycled by the scheme's into path), the single-datagram
+// marshal buffer used by Send, and the batch plan used by SendBatch.
+type sendScratch struct {
+	shares []sharing.Share
+	dgram  []byte
+	// SendBatch state: one choice per payload, one planned op plus one
+	// marshal buffer per share in the burst.
+	choices []batchChoice
+	ops     []batchOp
+	bufs    [][]byte
+}
+
+// batchChoice records the chooser's verdict for one payload of a burst;
+// mask == 0 marks a stalled payload.
+type batchChoice struct {
+	k    uint8
+	mask uint32
+}
+
+// batchOp is one marshaled share waiting for its per-link send phase.
+type batchOp struct {
+	link int32
+	seq  uint64
+	now  time.Duration
+	buf  []byte
 }
 
 // NewSender builds a sender over the given links.
@@ -135,13 +208,18 @@ func NewSender(cfg SenderConfig, links []Link) (*Sender, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Sender{
-		cfg:   cfg,
-		links: links,
-		met:   newSenderMetrics(reg, len(links)),
-		trace: cfg.Trace,
-		seq:   cfg.FirstSeq,
-	}, nil
+	s := &Sender{
+		cfg:     cfg,
+		links:   links,
+		met:     newSenderMetrics(reg, len(links)),
+		trace:   cfg.Trace,
+		chooser: cfg.Chooser,
+		linkMu:  make([]sync.Mutex, len(links)),
+	}
+	s.seq.Store(cfg.FirstSeq)
+	s.scratchSlot.Store(new(sendScratch))
+	s.scratch.New = func() any { return new(sendScratch) }
+	return s, nil
 }
 
 // Metrics returns the registry holding the sender's series (the one from
@@ -167,28 +245,34 @@ func (s *Sender) Stats() SenderStats {
 // Send transmits one source symbol. It returns ErrBackpressure if no
 // channel subset is currently available (the symbol is not queued anywhere;
 // best-effort semantics), or a split/encoding error. Safe to call from
-// multiple goroutines; symbols are sequenced in lock-acquisition order.
+// multiple goroutines: the chooser decision is the only serialized step,
+// split and marshal run on pooled per-caller scratch, and the fan-out takes
+// only the per-link send locks. Sequence numbers are claimed atomically
+// after a successful split, so each caller's own sequence is monotonic but
+// concurrent callers interleave without a defined order (they race in real
+// time anyway).
 //
 //remicss:noalloc
 func (s *Sender) Send(payload []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 
-	k, mask, ok := s.cfg.Chooser.Choose(s.links)
+	s.chooserMu.Lock()
+	k, mask, ok := s.chooser.Choose(s.links)
+	s.chooserMu.Unlock()
 	if !ok {
 		s.met.symbolsStalled.Inc()
 		return ErrBackpressure
 	}
 	m := bits.OnesCount32(mask)
 
-	shares, err := sharing.SplitInto(s.cfg.Scheme, payload, k, m, s.shares)
+	shares, err := sharing.SplitInto(s.cfg.Scheme, payload, k, m, sc.shares)
 	if err != nil {
 		return fmt.Errorf("remicss: splitting symbol: %w", err)
 	}
-	s.shares = shares
+	sc.shares = shares
 
-	seq := s.seq
-	s.seq++
+	seq := s.seq.Add(1) - 1
 	now := s.cfg.Clock()
 
 	shareIdx := 0
@@ -206,17 +290,23 @@ func (s *Sender) Send(payload []byte) error {
 		}
 		// One marshal buffer serves every share: links do not retain the
 		// datagram after Send returns, so it is safe to overwrite.
-		s.dgram, err = wire.AppendMarshal(s.dgram[:0], pkt)
+		sc.dgram, err = wire.AppendMarshal(sc.dgram[:0], pkt)
 		if err != nil {
 			return fmt.Errorf("remicss: encoding share: %w", err)
 		}
-		s.met.shareBytes.Observe(int64(len(s.dgram)))
-		if s.links[i].Send(s.dgram) {
+		// Size and events are recorded only after a successful marshal: an
+		// encoding error must not leave a phantom share size in the
+		// histogram.
+		s.met.shareBytes.Observe(int64(len(sc.dgram)))
+		s.linkMu[i].Lock()
+		delivered := s.links[i].Send(sc.dgram)
+		s.linkMu[i].Unlock()
+		if delivered {
 			s.met.perChan[i].sent.Inc()
-			s.trace.Record(obs.EventShareSent, int32(i), now, seq, int64(len(s.dgram)))
+			s.trace.Record(obs.EventShareSent, int32(i), now, seq, int64(len(sc.dgram)))
 		} else {
 			s.met.perChan[i].dropped.Inc()
-			s.trace.Record(obs.EventDatagramDropped, int32(i), now, seq, int64(len(s.dgram)))
+			s.trace.Record(obs.EventDatagramDropped, int32(i), now, seq, int64(len(sc.dgram)))
 		}
 		shareIdx++
 	}
@@ -224,12 +314,148 @@ func (s *Sender) Send(payload []byte) error {
 	return nil
 }
 
+// SendBatch transmits a burst of source symbols, one symbol per payload,
+// with the per-symbol overheads amortized: the chooser lock is taken once
+// for the whole burst, every split and marshal runs unlocked on pooled
+// scratch, and each link's send lock is taken once per burst instead of
+// once per share. Semantics per payload match Send — a stalled payload is
+// counted and skipped, a split or encoding error skips that payload — and
+// the burst is best-effort: later payloads are still sent after an earlier
+// one fails.
+//
+// It returns the number of symbols handed to the links and the first hard
+// error (split or marshal); if no hard error occurred but at least one
+// payload stalled, it returns ErrBackpressure.
+func (s *Sender) SendBatch(payloads [][]byte) (int, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+
+	// Phase 1: one chooser pass for the whole burst.
+	sc.choices = sc.choices[:0]
+	s.chooserMu.Lock()
+	stalled := 0
+	for range payloads {
+		k, mask, ok := s.chooser.Choose(s.links)
+		if !ok {
+			mask = 0
+			stalled++
+		}
+		sc.choices = append(sc.choices, batchChoice{k: uint8(k), mask: mask})
+	}
+	s.chooserMu.Unlock()
+	if stalled > 0 {
+		s.met.symbolsStalled.Add(int64(stalled))
+	}
+
+	// Phase 2: split and marshal every accepted payload with no lock held.
+	// Each share gets its own retained marshal buffer so phase 3 can hand
+	// all of them to the links; an error drops the whole symbol (no partial
+	// fan-out), and nothing is observed for dropped symbols.
+	var firstErr error
+	sc.ops = sc.ops[:0]
+	nb := 0
+	planned := 0
+	for pi, payload := range payloads {
+		ch := sc.choices[pi]
+		if ch.mask == 0 {
+			continue
+		}
+		m := bits.OnesCount32(ch.mask)
+		shares, err := sharing.SplitInto(s.cfg.Scheme, payload, int(ch.k), m, sc.shares)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("remicss: splitting symbol: %w", err)
+			}
+			continue
+		}
+		sc.shares = shares
+
+		seq := s.seq.Add(1) - 1
+		now := s.cfg.Clock()
+		opStart := len(sc.ops)
+		shareIdx := 0
+		ok := true
+		for i := 0; i < len(s.links); i++ {
+			if ch.mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			pkt := wire.SharePacket{
+				Seq:     seq,
+				K:       ch.k,
+				M:       uint8(m),
+				Index:   uint8(shares[shareIdx].Index),
+				SentAt:  int64(now),
+				Payload: shares[shareIdx].Data,
+			}
+			if nb == len(sc.bufs) {
+				sc.bufs = append(sc.bufs, nil)
+			}
+			buf, err := wire.AppendMarshal(sc.bufs[nb][:0], pkt)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("remicss: encoding share: %w", err)
+				}
+				ok = false
+				break
+			}
+			sc.bufs[nb] = buf
+			nb++
+			sc.ops = append(sc.ops, batchOp{link: int32(i), seq: seq, now: now, buf: buf})
+			shareIdx++
+		}
+		if !ok {
+			sc.ops = sc.ops[:opStart]
+			continue
+		}
+		planned++
+	}
+
+	// Phase 3: per-link fan-out, one lock acquisition per link per burst.
+	// Every op present here marshaled successfully, so sizes and events are
+	// recorded only for shares actually offered to a link.
+	for li := range s.links {
+		locked := false
+		for oi := range sc.ops {
+			op := &sc.ops[oi]
+			if int(op.link) != li {
+				continue
+			}
+			s.met.shareBytes.Observe(int64(len(op.buf)))
+			if !locked {
+				s.linkMu[li].Lock()
+				locked = true
+			}
+			if s.links[li].Send(op.buf) {
+				s.met.perChan[li].sent.Inc()
+				s.trace.Record(obs.EventShareSent, op.link, op.now, op.seq, int64(len(op.buf)))
+			} else {
+				s.met.perChan[li].dropped.Inc()
+				s.trace.Record(obs.EventDatagramDropped, op.link, op.now, op.seq, int64(len(op.buf)))
+			}
+		}
+		if locked {
+			s.linkMu[li].Unlock()
+		}
+	}
+	if planned > 0 {
+		s.met.symbolsSent.Add(int64(planned))
+	}
+	if firstErr != nil {
+		return planned, firstErr
+	}
+	if stalled > 0 {
+		return planned, ErrBackpressure
+	}
+	return planned, nil
+}
+
 // Seq returns the next sequence number to be assigned (FirstSeq plus the
 // number of symbols sent; stalled attempts do not consume a sequence
 // number). Pass it as a replacement sender's FirstSeq to continue the
 // session's sequence space.
 func (s *Sender) Seq() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.seq
+	return s.seq.Load()
 }

@@ -374,7 +374,9 @@ func (l *Listener) Serve(handle func(datagram []byte)) {
 // serialization or copying: the slice is reused for the next read, so the
 // handler must not retain it after returning. Intended for handlers that
 // are themselves safe for concurrent use and copy what they keep, such as
-// remicss.Receiver.HandleDatagram — one slow channel then cannot stall
+// remicss.Receiver.HandleDatagram, whose sharded reassembly state lets
+// the per-socket goroutines proceed in parallel (they contend only when
+// datagrams hash to the same shard) — one slow channel then cannot stall
 // ingest from the others. Returns immediately; Close stops the readers and
 // waits for them.
 func (l *Listener) ServeConcurrent(handle func(datagram []byte)) {

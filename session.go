@@ -32,6 +32,10 @@ type SessionConfig struct {
 	// the protocol defaults).
 	Timeout    time.Duration
 	MaxPending int
+	// Shards overrides the receiver's reassembly shard count (power of
+	// two; see ReceiverConfig.Shards). 0 sizes it to GOMAXPROCS so
+	// multi-socket ingest scales with cores. Receiver side only.
+	Shards int
 	// Metrics, when non-nil, receives the session's metric series —
 	// protocol counters and histograms plus per-channel UDP transport
 	// counters. Nil gives each endpoint a private registry, still readable
@@ -124,7 +128,8 @@ func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
 // Send transmits one message (up to ~64 KiB minus headers) as a single
 // protocol symbol. It retries briefly on backpressure and returns
 // ErrBackpressure if the channels stay saturated. Safe to call from
-// multiple goroutines; the sender serializes symbols internally.
+// multiple goroutines: concurrent calls split and encode in parallel and
+// serialize only on the chooser and on each channel's socket.
 func (c *Client) Send(payload []byte) error {
 	const (
 		retries = 50
@@ -184,9 +189,10 @@ type Server struct {
 
 // Serve binds one UDP socket per address (port 0 picks free ports) and
 // delivers reconstructed messages to onMessage. Each channel socket feeds
-// the receiver from its own goroutine (the receiver serializes ingest
-// internally), so deliveries arrive one at a time in reconstruction order;
-// onMessage owns the payload it is handed.
+// the receiver from its own goroutine; sockets contend only when their
+// datagrams land on the same reassembly shard, and completed symbols are
+// handed to onMessage one at a time (a dedicated delivery lock), so
+// onMessage needs no internal locking and owns the payload it is handed.
 func Serve(addrs []string, cfg SessionConfig, onMessage func(seq uint64, payload []byte, delay time.Duration)) (*Server, error) {
 	if onMessage == nil {
 		return nil, errors.New("remicss: nil message callback")
@@ -203,6 +209,7 @@ func Serve(addrs []string, cfg SessionConfig, onMessage func(seq uint64, payload
 		MaxPending: cfg.MaxPending,
 		Metrics:    cfg.Metrics,
 		Trace:      cfg.Trace,
+		Shards:     cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
