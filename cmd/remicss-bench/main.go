@@ -6,8 +6,13 @@
 //	remicss-bench -fig all
 //	remicss-bench -fig 3-diverse -duration 2s -mustep 0.1 -csv
 //	remicss-bench -fig compare
+//	remicss-bench -chaos blackout -chaos-json chaos_blackout.json
+//	remicss-bench -chaos list
 //
 // Figures: 2, 3-identical, 3-diverse, 4, 5, 6, 7, compare, all.
+// Chaos mode (-chaos) replays a scripted fault scenario over the emulator
+// and prints a degradation report; it exits non-zero if the run misses its
+// delivery floor or violates the ⌊κ⌋ threshold floor.
 // The paper's full sweep density is -mustep 0.1; the default here is 0.25
 // to keep "all" interactive.
 package main
@@ -38,11 +43,20 @@ func run() error {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace, and pprof on this address while the sweep runs (e.g. 127.0.0.1:9090)")
 		benchJSON = flag.String("bench-json", "", "run the parallel share-pipeline benchmarks instead of figures and write the JSON report to this path (e.g. BENCH_pipeline.json)")
+		chaosArg  = flag.String("chaos", "", "replay a chaos scenario instead of figures: a builtin name, a scenario-script path, or 'list'")
+		chaosJSON = flag.String("chaos-json", "", "with -chaos, also write the degradation report as JSON to this path")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		return runBenchJSON(*benchJSON)
+	}
+	if *chaosArg != "" {
+		chaosSeed := *seed
+		if chaosSeed == 1 {
+			chaosSeed = 0 // flag default: keep the scenario's own seed
+		}
+		return runChaos(*chaosArg, *chaosJSON, chaosSeed)
 	}
 
 	fc := bench.FigureConfig{

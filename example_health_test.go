@@ -1,0 +1,96 @@
+package remicss_test
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"time"
+
+	"remicss"
+)
+
+// exampleHealthLink is a stub channel for the chooser examples: up
+// controls both writability and send acceptance.
+type exampleHealthLink struct{ up bool }
+
+// Send accepts the datagram while the link is up.
+func (l *exampleHealthLink) Send([]byte) bool { return l.up }
+
+// Writable mirrors up.
+func (l *exampleHealthLink) Writable() bool { return l.up }
+
+// Backlog reports an empty queue.
+func (l *exampleHealthLink) Backlog() time.Duration { return 0 }
+
+// ExampleHealthTracker walks one channel through the full failover cycle:
+// repeated send failures raise its failure EWMA past the down threshold,
+// a backoff probe re-admits it, and consecutive probe successes recover
+// it.
+func ExampleHealthTracker() {
+	now := time.Duration(0)
+	clock := func() time.Duration { return now }
+	tracker, _ := remicss.NewHealthTracker(remicss.HealthConfig{}, 2, clock, nil, nil)
+
+	// Channel 0's sends start failing; the default thresholds declare it
+	// down after five consecutive failures. Channel 1 is untouched.
+	for i := 0; i < 5; i++ {
+		tracker.ObserveSend(0, false)
+	}
+	fmt.Println("after 5 failures:", tracker.State(0), tracker.State(1))
+
+	// Down channels are excluded until the 200ms probe interval elapses.
+	fmt.Println("usable immediately:", tracker.Usable(0))
+	now = 250 * time.Millisecond
+	fmt.Println("probe due:", tracker.Usable(0), tracker.State(0))
+
+	// Three successful probe sends (the default) recover the channel.
+	for i := 0; i < 3; i++ {
+		tracker.ObserveSend(0, true)
+	}
+	fmt.Println("after probe sends:", tracker.State(0))
+	// Output:
+	// after 5 failures: down healthy
+	// usable immediately: false
+	// probe due: true probing
+	// after probe sends: healthy
+}
+
+// ExampleNewHealthChooser shows the failover floor: when a channel dies,
+// the chooser sheds multiplicity (shares per symbol) but never lets the
+// threshold k drop below ⌊κ⌋ — and stalls entirely rather than weaken it.
+func ExampleNewHealthChooser() {
+	now := time.Duration(0)
+	clock := func() time.Duration { return now }
+	tracker, _ := remicss.NewHealthTracker(remicss.HealthConfig{}, 3, clock, nil, nil)
+	chooser, _ := remicss.NewHealthChooser(2, 3, tracker, rand.New(rand.NewSource(1)))
+
+	a, b, c := &exampleHealthLink{up: true}, &exampleHealthLink{up: true}, &exampleHealthLink{up: true}
+	links := []remicss.Link{a, b, c}
+
+	k, mask, _ := chooser.Choose(links)
+	fmt.Printf("all up:     k=%d over %d shares\n", k, bits.OnesCount32(mask))
+
+	// Channel 1 blacks out. A few schedule decisions' worth of unwritable
+	// observations take it down, then the schedule degrades: m 3→2, k
+	// stays at ⌊κ⌋ = 2.
+	b.up = false
+	for i := 0; i < 5; i++ {
+		chooser.Choose(links)
+	}
+	k, mask, ok := chooser.Choose(links)
+	fmt.Printf("one down:   k=%d over %d shares (ok=%v, channel 1 %v)\n",
+		k, bits.OnesCount32(mask), ok, tracker.State(1))
+
+	// A second blackout leaves one usable channel — fewer than ⌊κ⌋ — so
+	// the chooser stalls instead of emitting a weaker schedule.
+	c.up = false
+	for i := 0; i < 5; i++ {
+		chooser.Choose(links)
+	}
+	_, _, ok = chooser.Choose(links)
+	fmt.Printf("two down:   ok=%v (stalled: never below the κ floor)\n", ok)
+	// Output:
+	// all up:     k=2 over 3 shares
+	// one down:   k=2 over 2 shares (ok=true, channel 1 down)
+	// two down:   ok=false (stalled: never below the κ floor)
+}

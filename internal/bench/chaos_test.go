@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"remicss/internal/chaos"
+)
+
+// TestChaosSuite replays every builtin scenario and asserts the two
+// acceptance gates: delivery stays above the scenario's floor, and no
+// scheduled symbol's threshold drops below ⌊κ⌋ (the Theorem 5 secrecy
+// floor — degradation sheds multiplicity, never threshold). The trace is
+// the ground truth for the threshold check.
+func TestChaosSuite(t *testing.T) {
+	for _, name := range chaos.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, ok := chaos.Builtin(name)
+			if !ok {
+				t.Fatalf("builtin %q missing", name)
+			}
+			res, err := RunChaos(ChaosConfig{Scenario: sc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Offered == 0 {
+				t.Fatal("no symbols offered")
+			}
+			if !res.FloorOK {
+				t.Errorf("delivery ratio %.4f below floor %.2f (delivered %d/%d)",
+					res.DeliveryRatio, res.Floor, res.Delivered, res.Offered)
+			}
+			if !res.ThresholdOK {
+				t.Errorf("min scheduled threshold %d below ⌊κ⌋ = %d", res.MinThreshold, res.KappaFloor)
+			}
+			if res.FaultsInjected == 0 {
+				t.Error("no fault-injected trace events: the scenario did not run")
+			}
+		})
+	}
+}
+
+// TestChaosBlackoutFailsOverAndRecovers checks the blackout scenario's
+// specific story: the faulted channel goes Down, probes bring it back, and
+// it ends the run Healthy.
+func TestChaosBlackoutFailsOverAndRecovers(t *testing.T) {
+	sc, _ := chaos.Builtin("blackout")
+	res, err := RunChaos(ChaosConfig{Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failovers == 0 {
+		t.Error("blackout produced no Down transition")
+	}
+	if res.Recoveries == 0 {
+		t.Error("channel never recovered to Healthy")
+	}
+	if res.Probes == 0 {
+		t.Error("no probes admitted")
+	}
+	if got := res.FinalStates[1]; got != "healthy" {
+		t.Errorf("channel 1 ended %q, want healthy", got)
+	}
+}
+
+// TestChaosResolveMode runs the blackout scenario with the LP re-solve
+// chooser: the same gates must hold when placement comes from re-solved
+// Section IV-B schedules over the surviving subset.
+func TestChaosResolveMode(t *testing.T) {
+	sc, _ := chaos.Builtin("blackout")
+	res, err := RunChaos(ChaosConfig{Scenario: sc, Resolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Errorf("resolve-mode run failed gates: ratio %.4f (floor %.2f), minK %d (⌊κ⌋ %d)",
+			res.DeliveryRatio, res.Floor, res.MinThreshold, res.KappaFloor)
+	}
+}
+
+// TestChaosDeterministic replays the multi scenario twice and requires
+// bit-identical reports: same seed, same fault timeline, same schedule,
+// same degradation.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() ChaosResult {
+		sc, _ := chaos.Builtin("multi")
+		res, err := RunChaos(ChaosConfig{Scenario: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("chaos run not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"time"
+
+	"remicss/internal/netem"
+	"remicss/internal/obs"
+)
+
+// Apply schedules every fault transition in the scenario onto the engine,
+// targeting the given links. Call it before eng.Run; transitions execute
+// inside the event loop at their scripted times, so the resulting timeline
+// is a pure function of (scenario, engine, link RNG seeds). Each
+// transition records an EventFaultInjected trace event (nil trace is
+// fine): Channel is the affected link, Seq the fault's index in
+// s.Faults, Value the FaultKind.
+//
+// Base link parameters (delay, jitter, duplication, corruption) are
+// captured when Apply runs, and windowed faults restore those bases when
+// their window closes.
+func (s *Scenario) Apply(eng *netem.Engine, links []*netem.Link, trace *obs.Trace) error {
+	if err := s.Validate(len(links)); err != nil {
+		return err
+	}
+	base := eng.Now()
+	for i, f := range s.Faults {
+		targets := []int{f.Channel}
+		if f.Channel == AllChannels {
+			targets = targets[:0]
+			for ch := range links {
+				targets = append(targets, ch)
+			}
+		}
+		for _, ch := range targets {
+			s.applyOne(eng, links[ch], trace, base, uint64(i), int32(ch), f)
+		}
+	}
+	return nil
+}
+
+// applyOne schedules the transitions of one fault on one link.
+func (s *Scenario) applyOne(eng *netem.Engine, link *netem.Link, trace *obs.Trace, base time.Duration, seq uint64, ch int32, f Fault) {
+	note := func() {
+		trace.Record(obs.EventFaultInjected, ch, eng.Now(), seq, int64(f.Kind))
+	}
+	at := func(t time.Duration, fn func()) {
+		eng.At(base+t, func() { fn(); note() })
+	}
+	switch f.Kind {
+	case FaultBlackout:
+		at(f.At, func() { link.SetDown(true) })
+		if f.Duration > 0 {
+			at(f.At+f.Duration, func() { link.SetDown(false) })
+		}
+	case FaultFlap:
+		down := true
+		for t := f.At; t < f.At+f.Duration; t += f.Period / 2 {
+			d := down
+			at(t, func() { link.SetDown(d) })
+			down = !down
+		}
+		at(f.At+f.Duration, func() { link.SetDown(false) })
+	case FaultDelaySpike:
+		orig := link.Config().Delay
+		at(f.At, func() { link.SetDelay(orig + f.Delay) })
+		at(f.At+f.Duration, func() { link.SetDelay(orig) })
+	case FaultLossRamp:
+		steps := f.Steps
+		if steps == 0 {
+			steps = DefaultRampSteps
+		}
+		for j := 0; j <= steps; j++ {
+			frac := float64(j) / float64(steps)
+			p := f.From + (f.Value-f.From)*frac
+			at(f.At+time.Duration(frac*float64(f.Duration)), func() { link.SetLoss(p) })
+		}
+	case FaultDuplicate:
+		orig := link.Config().Duplicate
+		at(f.At, func() { link.SetDuplicate(f.Value) })
+		at(f.At+f.Duration, func() { link.SetDuplicate(orig) })
+	case FaultReorder:
+		orig := link.Config().Jitter
+		at(f.At, func() { link.SetJitter(orig + f.Delay) })
+		at(f.At+f.Duration, func() { link.SetJitter(orig) })
+	case FaultCorrupt:
+		orig := link.Config().Corrupt
+		at(f.At, func() { link.SetCorrupt(f.Value) })
+		at(f.At+f.Duration, func() { link.SetCorrupt(orig) })
+	}
+}

@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"sort"
+	"time"
+)
+
+// builtins is the catalog of named scenarios served by Builtin. All of
+// them target a 3-channel setup (the chaos bench default) and share one
+// fixed seed so CI runs replay exactly.
+var builtins = map[string]*Scenario{
+	"blackout": {
+		Name:     "blackout",
+		Seed:     42,
+		Duration: 10 * time.Second,
+		Floor:    0.90,
+		Faults: []Fault{
+			{Kind: FaultBlackout, At: 2 * time.Second, Duration: 4 * time.Second, Channel: 1},
+		},
+	},
+	"flap": {
+		Name:     "flap",
+		Seed:     42,
+		Duration: 10 * time.Second,
+		Floor:    0.85,
+		Faults: []Fault{
+			{Kind: FaultFlap, At: 2 * time.Second, Duration: 6 * time.Second, Channel: 0, Period: time.Second},
+		},
+	},
+	"lossramp": {
+		Name:     "lossramp",
+		Seed:     42,
+		Duration: 10 * time.Second,
+		Floor:    0.80,
+		Faults: []Fault{
+			{Kind: FaultLossRamp, At: time.Second, Duration: 6 * time.Second, Channel: 2, From: 0.01, Value: 0.35, Steps: 12},
+		},
+	},
+	"delayspike": {
+		Name:     "delayspike",
+		Seed:     42,
+		Duration: 10 * time.Second,
+		Floor:    0.90,
+		Faults: []Fault{
+			{Kind: FaultDelaySpike, At: 3 * time.Second, Duration: 3 * time.Second, Channel: 0, Delay: 250 * time.Millisecond},
+		},
+	},
+	"dup": {
+		Name:     "dup",
+		Seed:     42,
+		Duration: 10 * time.Second,
+		Floor:    0.90,
+		Faults: []Fault{
+			{Kind: FaultDuplicate, At: 2 * time.Second, Duration: 6 * time.Second, Channel: 1, Value: 0.25},
+		},
+	},
+	"reorder": {
+		Name:     "reorder",
+		Seed:     42,
+		Duration: 10 * time.Second,
+		Floor:    0.90,
+		Faults: []Fault{
+			{Kind: FaultReorder, At: 2 * time.Second, Duration: 6 * time.Second, Channel: 0, Delay: 80 * time.Millisecond},
+		},
+	},
+	"corrupt": {
+		Name:     "corrupt",
+		Seed:     42,
+		Duration: 10 * time.Second,
+		Floor:    0.80,
+		Faults: []Fault{
+			{Kind: FaultCorrupt, At: 2 * time.Second, Duration: 6 * time.Second, Channel: 1, Value: 0.20},
+		},
+	},
+	"multi": {
+		Name:     "multi",
+		Seed:     42,
+		Duration: 12 * time.Second,
+		Floor:    0.70,
+		Faults: []Fault{
+			{Kind: FaultBlackout, At: 2 * time.Second, Duration: 3 * time.Second, Channel: 1},
+			{Kind: FaultLossRamp, At: time.Second, Duration: 5 * time.Second, Channel: 2, From: 0.01, Value: 0.25, Steps: 8},
+			{Kind: FaultDelaySpike, At: 6 * time.Second, Duration: 3 * time.Second, Channel: 0, Delay: 150 * time.Millisecond},
+			{Kind: FaultCorrupt, At: 8 * time.Second, Duration: 3 * time.Second, Channel: 2, Value: 0.10},
+		},
+	},
+}
+
+// Builtin returns a copy of the named catalog scenario, or false when the
+// name is unknown. The copy is safe to mutate (seed overrides, floor
+// tweaks) without affecting the catalog.
+func Builtin(name string) (*Scenario, bool) {
+	s, ok := builtins[name]
+	if !ok {
+		return nil, false
+	}
+	cp := *s
+	cp.Faults = append([]Fault(nil), s.Faults...)
+	return &cp, true
+}
+
+// Names lists the catalog scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

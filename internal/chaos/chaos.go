@@ -1,0 +1,196 @@
+// Package chaos scripts deterministic fault-injection scenarios on top of
+// the netem engine. A Scenario is a seed plus a list of timed faults —
+// channel blackouts, flaps, delay spikes, loss ramps, duplication,
+// reordering, payload corruption — that Apply schedules onto emulated
+// links as discrete events. The same scenario applied to the same engine
+// and seed produces the identical fault timeline, so chaos experiments
+// replay bit-for-bit.
+//
+// Scenarios can be built as literal values, looked up by name from the
+// built-in catalog, or parsed from a small line-oriented text DSL (see
+// Parse). Every fault transition is recorded into the obs trace as an
+// EventFaultInjected record, giving tests a ground-truth timeline to
+// reconcile against.
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultKind enumerates the scripted fault types.
+type FaultKind uint8
+
+// The fault taxonomy, mirroring what netem can impose on a wire.
+const (
+	// FaultBlackout downs a channel at At; Duration 0 makes it permanent,
+	// otherwise the channel restores at At+Duration.
+	FaultBlackout FaultKind = iota + 1
+	// FaultFlap toggles a channel down/up every Period/2 from At until
+	// At+Duration, ending up.
+	FaultFlap
+	// FaultDelaySpike raises the channel's propagation delay by Delay at
+	// At and restores the base delay at At+Duration.
+	FaultDelaySpike
+	// FaultLossRamp steps the channel's loss probability linearly from
+	// From to Value across Steps steps between At and At+Duration, then
+	// holds at Value.
+	FaultLossRamp
+	// FaultDuplicate sets the channel's duplication probability to Value
+	// at At and restores the base at At+Duration.
+	FaultDuplicate
+	// FaultReorder raises the channel's jitter bound by Delay at At
+	// (jitter beyond the serialization interval reorders packets) and
+	// restores the base at At+Duration.
+	FaultReorder
+	// FaultCorrupt sets the channel's payload-corruption probability to
+	// Value at At and restores the base at At+Duration.
+	FaultCorrupt
+)
+
+// String names the fault kind, matching the DSL verb.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBlackout:
+		return "blackout"
+	case FaultFlap:
+		return "flap"
+	case FaultDelaySpike:
+		return "delay"
+	case FaultLossRamp:
+		return "loss"
+	case FaultDuplicate:
+		return "dup"
+	case FaultReorder:
+		return "reorder"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// AllChannels is the Fault.Channel value meaning "every channel".
+const AllChannels = -1
+
+// Fault is one scripted fault. Which fields matter depends on Kind; see
+// the FaultKind docs. Zero-valued fields not used by the kind are ignored
+// by Apply and omitted by the DSL serializer.
+type Fault struct {
+	// Kind selects the fault type.
+	Kind FaultKind
+	// At is the scenario time the fault starts.
+	At time.Duration
+	// Duration is the fault window. Required for every kind except
+	// FaultBlackout, where zero means permanent.
+	Duration time.Duration
+	// Channel is the target link index, or AllChannels.
+	Channel int
+	// Value is the target probability for loss ramps, duplication, and
+	// corruption.
+	Value float64
+	// From is the starting probability of a loss ramp.
+	From float64
+	// Delay is the added delay of a spike or the added jitter of a
+	// reorder fault.
+	Delay time.Duration
+	// Period is the full down+up cycle length of a flap.
+	Period time.Duration
+	// Steps is the number of loss-ramp steps; defaults to DefaultRampSteps.
+	Steps int
+}
+
+// DefaultRampSteps is the loss-ramp step count used when Fault.Steps is
+// zero.
+const DefaultRampSteps = 8
+
+// Scenario is a named, replayable fault script. Seed drives every random
+// process in the harness that runs the scenario (link loss draws and the
+// sender's dithering), so one (Scenario, Seed) pair defines one exact
+// fault timeline.
+type Scenario struct {
+	// Name identifies the scenario in reports and the -chaos flag.
+	Name string
+	// Seed seeds the harness RNGs. Zero is a valid literal seed.
+	Seed int64
+	// Duration is how long the harness should drive traffic.
+	Duration time.Duration
+	// Floor is the minimum end-to-end delivery ratio the scenario is
+	// expected to sustain; the chaos suite and the -chaos degradation
+	// report fail runs that land below it. Zero means no floor.
+	Floor float64
+	// Faults lists the scripted faults, in any order.
+	Faults []Fault
+}
+
+// Validate checks the scenario against a channel count, returning the
+// first structural problem found.
+func (s *Scenario) Validate(channels int) error {
+	if s.Duration <= 0 {
+		return fmt.Errorf("chaos: scenario %q: non-positive duration %v", s.Name, s.Duration)
+	}
+	if s.Floor < 0 || s.Floor >= 1 {
+		return fmt.Errorf("chaos: scenario %q: floor %v outside [0, 1)", s.Name, s.Floor)
+	}
+	for i, f := range s.Faults {
+		if err := f.validate(channels); err != nil {
+			return fmt.Errorf("chaos: scenario %q fault %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func (f *Fault) validate(channels int) error {
+	if f.Channel != AllChannels && (f.Channel < 0 || f.Channel >= channels) {
+		return fmt.Errorf("channel %d outside [0, %d)", f.Channel, channels)
+	}
+	if f.At < 0 {
+		return fmt.Errorf("negative start time %v", f.At)
+	}
+	switch f.Kind {
+	case FaultBlackout:
+		if f.Duration < 0 {
+			return fmt.Errorf("negative blackout duration %v", f.Duration)
+		}
+	case FaultFlap:
+		if f.Duration <= 0 {
+			return fmt.Errorf("flap needs a positive duration, got %v", f.Duration)
+		}
+		if f.Period <= 0 {
+			return fmt.Errorf("flap needs a positive period, got %v", f.Period)
+		}
+	case FaultDelaySpike:
+		if f.Duration <= 0 {
+			return fmt.Errorf("delay spike needs a positive duration, got %v", f.Duration)
+		}
+		if f.Delay <= 0 {
+			return fmt.Errorf("delay spike needs a positive delay, got %v", f.Delay)
+		}
+	case FaultLossRamp:
+		if f.Duration <= 0 {
+			return fmt.Errorf("loss ramp needs a positive duration, got %v", f.Duration)
+		}
+		if f.From < 0 || f.From >= 1 || f.Value < 0 || f.Value >= 1 {
+			return fmt.Errorf("loss ramp probabilities %v..%v outside [0, 1)", f.From, f.Value)
+		}
+		if f.Steps < 0 {
+			return fmt.Errorf("negative ramp steps %d", f.Steps)
+		}
+	case FaultDuplicate, FaultCorrupt:
+		if f.Duration <= 0 {
+			return fmt.Errorf("%v needs a positive duration, got %v", f.Kind, f.Duration)
+		}
+		if f.Value <= 0 || f.Value >= 1 {
+			return fmt.Errorf("%v probability %v outside (0, 1)", f.Kind, f.Value)
+		}
+	case FaultReorder:
+		if f.Duration <= 0 {
+			return fmt.Errorf("reorder needs a positive duration, got %v", f.Duration)
+		}
+		if f.Delay <= 0 {
+			return fmt.Errorf("reorder needs a positive jitter, got %v", f.Delay)
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %d", f.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"remicss/internal/netem"
+	"remicss/internal/obs"
+)
+
+func TestDSLRoundTrip(t *testing.T) {
+	src := `
+# A kitchen-sink scenario exercising every verb.
+scenario kitchen-sink
+seed 7
+duration 12s
+floor 0.75
+at 1s blackout ch 0 for 2s
+at 4s blackout ch 1
+at 500ms flap ch 2 period 250ms for 3s
+at 2s delay ch 0 spike 100ms for 1s
+at 1s loss ch 1 ramp 0.01 0.3 over 4s steps 6
+at 3s dup ch * rate 0.2 for 2s
+at 5s reorder ch 2 jitter 80ms for 2s
+at 6s corrupt ch 0 rate 0.15 for 1s
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "kitchen-sink" || s.Seed != 7 || s.Duration != 12*time.Second || s.Floor != 0.75 {
+		t.Errorf("header mismatch: %+v", s)
+	}
+	if len(s.Faults) != 8 {
+		t.Fatalf("parsed %d faults, want 8", len(s.Faults))
+	}
+	if s.Faults[5].Channel != AllChannels {
+		t.Errorf("ch * parsed as %d", s.Faults[5].Channel)
+	}
+	round, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, s.String())
+	}
+	if !reflect.DeepEqual(s, round) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", round, s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"duration 5s",                    // missing scenario name
+		"scenario x\nat 1s blackout 0",   // missing ch keyword
+		"scenario x\nat 1s explode ch 0", // unknown verb
+		"scenario x\nat abc blackout ch 0",
+		"scenario x\nwat 1",
+		"scenario x\nat 1s loss ch 0 ramp 0.1 0.2 over 2s steps zero",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestBuiltinsValidAndRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("catalog too small: %v", names)
+	}
+	for _, name := range names {
+		s, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("Builtin(%q) missing", name)
+		}
+		if err := s.Validate(3); err != nil {
+			t.Errorf("builtin %q invalid for 3 channels: %v", name, err)
+		}
+		round, err := Parse(s.String())
+		if err != nil {
+			t.Errorf("builtin %q does not re-parse: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(s, round) {
+			t.Errorf("builtin %q round trip diverged", name)
+		}
+	}
+	if _, ok := Builtin("no-such-scenario"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestBuiltinReturnsCopy(t *testing.T) {
+	a, _ := Builtin("blackout")
+	a.Faults[0].Channel = 99
+	a.Seed = -1
+	b, _ := Builtin("blackout")
+	if b.Faults[0].Channel == 99 || b.Seed == -1 {
+		t.Error("mutating a Builtin copy leaked into the catalog")
+	}
+}
+
+// run applies the scenario to fresh links and returns the fault-injection
+// trace timeline plus final link stats.
+func run(t *testing.T, s *Scenario, channels int) ([]obs.Event, []netem.LinkStats) {
+	t.Helper()
+	eng := netem.NewEngine()
+	trace := obs.NewTrace(1 << 12)
+	links := make([]*netem.Link, channels)
+	for i := range links {
+		var err error
+		links[i], err = netem.NewLink(eng, netem.LinkConfig{Rate: 500, Delay: 10 * time.Millisecond, QueueLimit: 64},
+			rand.New(rand.NewSource(s.Seed+int64(i))), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Apply(eng, links, trace); err != nil {
+		t.Fatal(err)
+	}
+	// Drive steady traffic so faults have something to act on.
+	var offer func()
+	now := time.Duration(0)
+	offer = func() {
+		for _, l := range links {
+			l.Send([]byte{1, 2, 3, 4})
+		}
+		now += 10 * time.Millisecond
+		if now < s.Duration {
+			eng.At(now, offer)
+		}
+	}
+	eng.At(0, offer)
+	eng.RunUntilIdle()
+
+	var events []obs.Event
+	for _, ev := range trace.Snapshot(nil) {
+		if ev.Kind == obs.EventFaultInjected {
+			events = append(events, ev)
+		}
+	}
+	stats := make([]netem.LinkStats, channels)
+	for i, l := range links {
+		stats[i] = l.Stats()
+	}
+	return events, stats
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := Builtin(name)
+		ev1, st1 := run(t, s, 3)
+		ev2, st2 := run(t, s, 3)
+		if !reflect.DeepEqual(ev1, ev2) {
+			t.Errorf("%s: fault timelines differ between identical runs", name)
+		}
+		if !reflect.DeepEqual(st1, st2) {
+			t.Errorf("%s: link stats differ between identical runs", name)
+		}
+		if len(ev1) == 0 {
+			t.Errorf("%s: no fault transitions recorded", name)
+		}
+	}
+}
+
+func TestBlackoutDownsAndRestores(t *testing.T) {
+	eng := netem.NewEngine()
+	link, err := netem.NewLink(eng, netem.LinkConfig{Rate: 100},
+		rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Scenario{Name: "t", Duration: 5 * time.Second, Faults: []Fault{
+		{Kind: FaultBlackout, At: time.Second, Duration: 2 * time.Second, Channel: 0},
+	}}
+	if err := s.Apply(eng, []*netem.Link{link}, nil); err != nil {
+		t.Fatal(err)
+	}
+	checks := 0
+	eng.At(500*time.Millisecond, func() {
+		if link.Down() {
+			t.Error("down before blackout start")
+		}
+		checks++
+	})
+	eng.At(2*time.Second, func() {
+		if !link.Down() {
+			t.Error("not down inside blackout window")
+		}
+		checks++
+	})
+	eng.At(3500*time.Millisecond, func() {
+		if link.Down() {
+			t.Error("still down after blackout window")
+		}
+		checks++
+	})
+	eng.RunUntilIdle()
+	if checks != 3 {
+		t.Fatalf("ran %d checks, want 3", checks)
+	}
+}
+
+func TestFlapTogglesAndEndsUp(t *testing.T) {
+	eng := netem.NewEngine()
+	link, err := netem.NewLink(eng, netem.LinkConfig{Rate: 100},
+		rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Scenario{Name: "t", Duration: 5 * time.Second, Faults: []Fault{
+		{Kind: FaultFlap, At: time.Second, Duration: 2 * time.Second, Channel: 0, Period: time.Second},
+	}}
+	trace := obs.NewTrace(256)
+	if err := s.Apply(eng, []*netem.Link{link}, trace); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntilIdle()
+	if link.Down() {
+		t.Error("link down after flap window")
+	}
+	if n := trace.CountKind(obs.EventFaultInjected); n < 4 {
+		t.Errorf("flap recorded %d transitions, want >= 4", n)
+	}
+}
+
+func TestLossRampReachesTargetAndHolds(t *testing.T) {
+	eng := netem.NewEngine()
+	link, err := netem.NewLink(eng, netem.LinkConfig{Rate: 100, Loss: 0.01},
+		rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Scenario{Name: "t", Duration: 6 * time.Second, Faults: []Fault{
+		{Kind: FaultLossRamp, At: time.Second, Duration: 2 * time.Second, Channel: 0, From: 0.05, Value: 0.4, Steps: 4},
+	}}
+	if err := s.Apply(eng, []*netem.Link{link}, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(1500*time.Millisecond, func() {
+		l := link.Config().Loss
+		if l < 0.05 || l > 0.4 {
+			t.Errorf("mid-ramp loss %v outside [0.05, 0.4]", l)
+		}
+	})
+	eng.At(4*time.Second, func() {
+		if l := link.Config().Loss; l != 0.4 {
+			t.Errorf("post-ramp loss %v, want hold at 0.4", l)
+		}
+	})
+	eng.RunUntilIdle()
+}
+
+func TestWindowedFaultsRestoreBase(t *testing.T) {
+	eng := netem.NewEngine()
+	base := netem.LinkConfig{Rate: 100, Delay: 20 * time.Millisecond, Jitter: time.Millisecond}
+	link, err := netem.NewLink(eng, base, rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Scenario{Name: "t", Duration: 10 * time.Second, Faults: []Fault{
+		{Kind: FaultDelaySpike, At: time.Second, Duration: time.Second, Channel: 0, Delay: 100 * time.Millisecond},
+		{Kind: FaultReorder, At: 3 * time.Second, Duration: time.Second, Channel: 0, Delay: 50 * time.Millisecond},
+		{Kind: FaultDuplicate, At: 5 * time.Second, Duration: time.Second, Channel: 0, Value: 0.3},
+		{Kind: FaultCorrupt, At: 7 * time.Second, Duration: time.Second, Channel: 0, Value: 0.3},
+	}}
+	if err := s.Apply(eng, []*netem.Link{link}, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(1500*time.Millisecond, func() {
+		if d := link.Config().Delay; d != 120*time.Millisecond {
+			t.Errorf("spiked delay %v, want 120ms", d)
+		}
+	})
+	eng.RunUntilIdle()
+	got := link.Config()
+	if got.Delay != base.Delay || got.Jitter != base.Jitter || got.Duplicate != 0 || got.Corrupt != 0 {
+		t.Errorf("base config not restored after windows: %+v", got)
+	}
+}
+
+func TestApplyValidates(t *testing.T) {
+	eng := netem.NewEngine()
+	link, err := netem.NewLink(eng, netem.LinkConfig{Rate: 100},
+		rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Scenario{Name: "t", Duration: time.Second, Faults: []Fault{
+		{Kind: FaultBlackout, At: 0, Channel: 5},
+	}}
+	if err := bad.Apply(eng, []*netem.Link{link}, nil); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+}

@@ -1,0 +1,267 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse reads a scenario from the chaos DSL: a line-oriented script where
+// '#' starts a comment and blank lines are skipped. The grammar (one
+// directive per line, durations in Go syntax like 500ms or 2s,
+// probabilities as decimals, <ch> a channel index or '*' for all):
+//
+//	scenario <name>
+//	seed <int>
+//	duration <dur>
+//	at <t> blackout ch <ch> [for <dur>]
+//	at <t> flap ch <ch> period <dur> for <dur>
+//	at <t> delay ch <ch> spike <dur> for <dur>
+//	at <t> loss ch <ch> ramp <from> <to> over <dur> [steps <n>]
+//	at <t> dup ch <ch> rate <p> for <dur>
+//	at <t> corrupt ch <ch> rate <p> for <dur>
+//	at <t> reorder ch <ch> jitter <dur> for <dur>
+//
+// String serializes a scenario back into this grammar; Parse(s.String())
+// reproduces s exactly.
+func Parse(src string) (*Scenario, error) {
+	s := &Scenario{}
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := s.parseLine(fields); err != nil {
+			return nil, fmt.Errorf("chaos: line %d: %w", lineno+1, err)
+		}
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("chaos: missing scenario directive")
+	}
+	return s, nil
+}
+
+func (s *Scenario) parseLine(fields []string) error {
+	switch fields[0] {
+	case "scenario":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: scenario <name>")
+		}
+		s.Name = fields[1]
+		return nil
+	case "seed":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: seed <int>")
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %v", fields[1], err)
+		}
+		s.Seed = v
+		return nil
+	case "duration":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: duration <dur>")
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad duration %q: %v", fields[1], err)
+		}
+		s.Duration = d
+		return nil
+	case "floor":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: floor <p>")
+		}
+		p, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad floor %q: %v", fields[1], err)
+		}
+		s.Floor = p
+		return nil
+	case "at":
+		f, err := parseFault(fields)
+		if err != nil {
+			return err
+		}
+		s.Faults = append(s.Faults, f)
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", fields[0])
+}
+
+// parseFault parses one "at ..." line, already split into fields.
+func parseFault(fields []string) (Fault, error) {
+	var f Fault
+	// Common prefix: at <t> <verb> ch <ch>.
+	if len(fields) < 5 || fields[3] != "ch" {
+		return f, fmt.Errorf("usage: at <t> <fault> ch <ch> ...")
+	}
+	t, err := time.ParseDuration(fields[1])
+	if err != nil {
+		return f, fmt.Errorf("bad time %q: %v", fields[1], err)
+	}
+	f.At = t
+	if fields[4] == "*" {
+		f.Channel = AllChannels
+	} else {
+		ch, err := strconv.Atoi(fields[4])
+		if err != nil || ch < 0 {
+			return f, fmt.Errorf("bad channel %q", fields[4])
+		}
+		f.Channel = ch
+	}
+	rest := fields[5:]
+
+	dur := func(s string) (time.Duration, error) {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q: %v", s, err)
+		}
+		return d, nil
+	}
+	prob := func(s string) (float64, error) {
+		p, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad probability %q: %v", s, err)
+		}
+		return p, nil
+	}
+
+	switch fields[2] {
+	case "blackout":
+		f.Kind = FaultBlackout
+		switch {
+		case len(rest) == 0:
+			return f, nil
+		case len(rest) == 2 && rest[0] == "for":
+			f.Duration, err = dur(rest[1])
+			return f, err
+		}
+		return f, fmt.Errorf("usage: at <t> blackout ch <ch> [for <dur>]")
+	case "flap":
+		f.Kind = FaultFlap
+		if len(rest) != 4 || rest[0] != "period" || rest[2] != "for" {
+			return f, fmt.Errorf("usage: at <t> flap ch <ch> period <dur> for <dur>")
+		}
+		if f.Period, err = dur(rest[1]); err != nil {
+			return f, err
+		}
+		f.Duration, err = dur(rest[3])
+		return f, err
+	case "delay":
+		f.Kind = FaultDelaySpike
+		if len(rest) != 4 || rest[0] != "spike" || rest[2] != "for" {
+			return f, fmt.Errorf("usage: at <t> delay ch <ch> spike <dur> for <dur>")
+		}
+		if f.Delay, err = dur(rest[1]); err != nil {
+			return f, err
+		}
+		f.Duration, err = dur(rest[3])
+		return f, err
+	case "loss":
+		f.Kind = FaultLossRamp
+		if !(len(rest) == 5 || len(rest) == 7) || rest[0] != "ramp" || rest[3] != "over" {
+			return f, fmt.Errorf("usage: at <t> loss ch <ch> ramp <from> <to> over <dur> [steps <n>]")
+		}
+		if f.From, err = prob(rest[1]); err != nil {
+			return f, err
+		}
+		if f.Value, err = prob(rest[2]); err != nil {
+			return f, err
+		}
+		if f.Duration, err = dur(rest[4]); err != nil {
+			return f, err
+		}
+		if len(rest) == 7 {
+			if rest[5] != "steps" {
+				return f, fmt.Errorf("expected steps, got %q", rest[5])
+			}
+			n, err := strconv.Atoi(rest[6])
+			if err != nil || n <= 0 {
+				return f, fmt.Errorf("bad steps %q", rest[6])
+			}
+			f.Steps = n
+		}
+		return f, nil
+	case "dup", "corrupt":
+		if fields[2] == "dup" {
+			f.Kind = FaultDuplicate
+		} else {
+			f.Kind = FaultCorrupt
+		}
+		if len(rest) != 4 || rest[0] != "rate" || rest[2] != "for" {
+			return f, fmt.Errorf("usage: at <t> %s ch <ch> rate <p> for <dur>", fields[2])
+		}
+		if f.Value, err = prob(rest[1]); err != nil {
+			return f, err
+		}
+		f.Duration, err = dur(rest[3])
+		return f, err
+	case "reorder":
+		f.Kind = FaultReorder
+		if len(rest) != 4 || rest[0] != "jitter" || rest[2] != "for" {
+			return f, fmt.Errorf("usage: at <t> reorder ch <ch> jitter <dur> for <dur>")
+		}
+		if f.Delay, err = dur(rest[1]); err != nil {
+			return f, err
+		}
+		f.Duration, err = dur(rest[3])
+		return f, err
+	}
+	return f, fmt.Errorf("unknown fault %q", fields[2])
+}
+
+// String serializes the scenario into the DSL accepted by Parse.
+func (s *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s\n", s.Name)
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	fmt.Fprintf(&b, "duration %v\n", s.Duration)
+	if s.Floor > 0 {
+		fmt.Fprintf(&b, "floor %s\n", strconv.FormatFloat(s.Floor, 'g', -1, 64))
+	}
+	for _, f := range s.Faults {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String serializes one fault as its DSL line.
+func (f Fault) String() string {
+	ch := "*"
+	if f.Channel != AllChannels {
+		ch = strconv.Itoa(f.Channel)
+	}
+	p := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	switch f.Kind {
+	case FaultBlackout:
+		if f.Duration > 0 {
+			return fmt.Sprintf("at %v blackout ch %s for %v", f.At, ch, f.Duration)
+		}
+		return fmt.Sprintf("at %v blackout ch %s", f.At, ch)
+	case FaultFlap:
+		return fmt.Sprintf("at %v flap ch %s period %v for %v", f.At, ch, f.Period, f.Duration)
+	case FaultDelaySpike:
+		return fmt.Sprintf("at %v delay ch %s spike %v for %v", f.At, ch, f.Delay, f.Duration)
+	case FaultLossRamp:
+		line := fmt.Sprintf("at %v loss ch %s ramp %s %s over %v", f.At, ch, p(f.From), p(f.Value), f.Duration)
+		if f.Steps > 0 {
+			line += fmt.Sprintf(" steps %d", f.Steps)
+		}
+		return line
+	case FaultDuplicate:
+		return fmt.Sprintf("at %v dup ch %s rate %s for %v", f.At, ch, p(f.Value), f.Duration)
+	case FaultReorder:
+		return fmt.Sprintf("at %v reorder ch %s jitter %v for %v", f.At, ch, f.Delay, f.Duration)
+	case FaultCorrupt:
+		return fmt.Sprintf("at %v corrupt ch %s rate %s for %v", f.At, ch, p(f.Value), f.Duration)
+	}
+	return fmt.Sprintf("at %v unknown ch %s", f.At, ch)
+}

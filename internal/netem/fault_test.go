@@ -1,0 +1,192 @@
+package netem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	eng := NewEngine()
+	delivered := 0
+	link, err := NewLink(eng, LinkConfig{Rate: 1e6, Duplicate: 0.999999, QueueLimit: 1 << 10},
+		rand.New(rand.NewSource(1)),
+		func(_ []byte, _ time.Duration) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !link.Send([]byte{byte(i)}) {
+			t.Fatal("send rejected")
+		}
+	}
+	eng.RunUntilIdle()
+	st := link.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates at p≈1")
+	}
+	if delivered != n+int(st.Duplicated) {
+		t.Errorf("delivered = %d, want sent %d + duplicated %d", delivered, n, st.Duplicated)
+	}
+	if st.Delivered != int64(delivered) {
+		t.Errorf("Stats.Delivered = %d disagrees with receiver count %d", st.Delivered, delivered)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	eng := NewEngine()
+	orig := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	var got [][]byte
+	link, err := NewLink(eng, LinkConfig{Rate: 1e6, Corrupt: 0.999999, QueueLimit: 1 << 10},
+		rand.New(rand.NewSource(2)),
+		func(p []byte, _ time.Duration) {
+			cp := make([]byte, len(p))
+			copy(cp, p)
+			got = append(got, cp)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if !link.Send(orig) {
+			t.Fatal("send rejected")
+		}
+	}
+	eng.RunUntilIdle()
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	corrupted := 0
+	for _, p := range got {
+		diff := 0
+		for i := range p {
+			b := p[i] ^ orig[i]
+			for ; b != 0; b &= b - 1 {
+				diff++
+			}
+		}
+		switch diff {
+		case 0:
+		case 1:
+			corrupted++
+		default:
+			t.Errorf("payload differs in %d bits, want exactly 1", diff)
+		}
+	}
+	if corrupted == 0 {
+		t.Error("no corruption at p≈1")
+	}
+	if got := link.Stats().Corrupted; got != int64(corrupted) {
+		t.Errorf("Stats.Corrupted = %d, observed %d corrupted payloads", got, corrupted)
+	}
+}
+
+func TestCorruptDoesNotTouchCallerBuffer(t *testing.T) {
+	eng := NewEngine()
+	payload := []byte{1, 2, 3, 4}
+	keep := append([]byte(nil), payload...)
+	link, err := NewLink(eng, LinkConfig{Rate: 1e6, Corrupt: 0.999999},
+		rand.New(rand.NewSource(3)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Send(payload)
+	eng.RunUntilIdle()
+	if !bytes.Equal(payload, keep) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+}
+
+func TestSetDelaySpikeShiftsArrivals(t *testing.T) {
+	eng := NewEngine()
+	var arrivals []time.Duration
+	link, err := NewLink(eng, LinkConfig{Rate: 1000, Delay: time.Millisecond, QueueLimit: 1 << 10},
+		rand.New(rand.NewSource(4)),
+		func(_ []byte, at time.Duration) { arrivals = append(arrivals, at) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Send([]byte{0})
+	// Spike after the first packet is through, then send another.
+	eng.Schedule(10*time.Millisecond, func() {
+		link.SetDelay(500 * time.Millisecond)
+		link.Send([]byte{1})
+	})
+	eng.RunUntilIdle()
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d, want 2", len(arrivals))
+	}
+	if base := arrivals[0]; base > 5*time.Millisecond {
+		t.Errorf("pre-spike arrival %v too late", base)
+	}
+	if spiked := arrivals[1]; spiked < 500*time.Millisecond {
+		t.Errorf("post-spike arrival %v ignores SetDelay", spiked)
+	}
+}
+
+func TestSetJitterTakesEffect(t *testing.T) {
+	eng := NewEngine()
+	var arrivals []time.Duration
+	link, err := NewLink(eng, LinkConfig{Rate: 1e6, QueueLimit: 1 << 16},
+		rand.New(rand.NewSource(5)),
+		func(_ []byte, at time.Duration) { arrivals = append(arrivals, at) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.SetJitter(20 * time.Millisecond)
+	for i := 0; i < 200; i++ {
+		link.Send([]byte{byte(i)})
+	}
+	eng.RunUntilIdle()
+	var minA, maxA = arrivals[0], arrivals[0]
+	for _, a := range arrivals {
+		if a < minA {
+			minA = a
+		}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	if spread := maxA - minA; spread < 10*time.Millisecond {
+		t.Errorf("jitter spread only %v after SetJitter", spread)
+	}
+}
+
+func TestFaultSetterValidation(t *testing.T) {
+	eng := NewEngine()
+	link, err := NewLink(eng, LinkConfig{Rate: 1}, rand.New(rand.NewSource(6)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"SetDelay":     func() { link.SetDelay(-time.Second) },
+		"SetJitter":    func() { link.SetJitter(-time.Second) },
+		"SetDuplicate": func() { link.SetDuplicate(1.5) },
+		"SetCorrupt":   func() { link.SetCorrupt(-0.1) },
+		"SetLoss":      func() { link.SetLoss(1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted an invalid value", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	eng := NewEngine()
+	if _, err := NewLink(eng, LinkConfig{Rate: 1, Duplicate: 1.0},
+		rand.New(rand.NewSource(1)), nil); err == nil {
+		t.Error("duplicate = 1.0 accepted")
+	}
+	if _, err := NewLink(eng, LinkConfig{Rate: 1, Corrupt: -0.5},
+		rand.New(rand.NewSource(1)), nil); err == nil {
+		t.Error("negative corrupt accepted")
+	}
+}

@@ -28,6 +28,13 @@ type LinkConfig struct {
 	// the link unwritable (the epoll signal) and drops further sends.
 	// Defaults to DefaultQueueLimit when zero.
 	QueueLimit int
+	// Duplicate is the independent probability that a surviving packet is
+	// delivered twice, as netem's duplicate parameter does. In [0, 1).
+	Duplicate float64
+	// Corrupt is the independent probability that a surviving packet has
+	// one random bit flipped before delivery, as netem's corrupt parameter
+	// does. In [0, 1).
+	Corrupt float64
 }
 
 // DefaultQueueLimit is the transmit queue depth used when LinkConfig leaves
@@ -45,6 +52,13 @@ type LinkStats struct {
 	Lost int64
 	// Delivered counts packets handed to the receiver.
 	Delivered int64
+	// Duplicated counts extra deliveries created by the duplication
+	// process; each duplicate also counts in Delivered, so Delivered
+	// remains the receiver-side datagram ground truth.
+	Duplicated int64
+	// Corrupted counts packets whose payload had a bit flipped before
+	// delivery.
+	Corrupted int64
 }
 
 // Link is one emulated channel. Packets serialize in FIFO order at the
@@ -73,11 +87,13 @@ type Link struct {
 // linkMetrics holds the obs handles for one instrumented link. Every field
 // is nil until Instrument resolves them.
 type linkMetrics struct {
-	sent      *obs.Counter
-	dropped   *obs.Counter
-	lost      *obs.Counter
-	delivered *obs.Counter
-	queue     *obs.Gauge
+	sent       *obs.Counter
+	dropped    *obs.Counter
+	lost       *obs.Counter
+	delivered  *obs.Counter
+	duplicated *obs.Counter
+	corrupted  *obs.Counter
+	queue      *obs.Gauge
 }
 
 // Instrument registers per-link series on reg under the given channel
@@ -90,11 +106,13 @@ type linkMetrics struct {
 func (l *Link) Instrument(reg *obs.Registry, trace *obs.Trace, channel int) {
 	label := obs.Label{Key: "channel", Value: strconv.Itoa(channel)}
 	l.met = linkMetrics{
-		sent:      reg.Counter("netem_link_sent_total", label),
-		dropped:   reg.Counter("netem_link_dropped_total", label),
-		lost:      reg.Counter("netem_link_lost_total", label),
-		delivered: reg.Counter("netem_link_delivered_total", label),
-		queue:     reg.Gauge("netem_link_queue", label),
+		sent:       reg.Counter("netem_link_sent_total", label),
+		dropped:    reg.Counter("netem_link_dropped_total", label),
+		lost:       reg.Counter("netem_link_lost_total", label),
+		delivered:  reg.Counter("netem_link_delivered_total", label),
+		duplicated: reg.Counter("netem_link_duplicated_total", label),
+		corrupted:  reg.Counter("netem_link_corrupted_total", label),
+		queue:      reg.Gauge("netem_link_queue", label),
 	}
 	l.trace = trace
 	l.channel = int32(channel)
@@ -139,6 +157,12 @@ func NewLink(eng *Engine, cfg LinkConfig, rng *rand.Rand, deliver func(payload [
 	if cfg.QueueLimit < 0 {
 		return nil, fmt.Errorf("netem: negative queue limit %d", cfg.QueueLimit)
 	}
+	if cfg.Duplicate < 0 || cfg.Duplicate >= 1 {
+		return nil, fmt.Errorf("netem: duplicate %v outside [0, 1)", cfg.Duplicate)
+	}
+	if cfg.Corrupt < 0 || cfg.Corrupt >= 1 {
+		return nil, fmt.Errorf("netem: corrupt %v outside [0, 1)", cfg.Corrupt)
+	}
 	if cfg.QueueLimit == 0 {
 		cfg.QueueLimit = DefaultQueueLimit
 	}
@@ -181,6 +205,44 @@ func (l *Link) SetLoss(loss float64) {
 		panic(fmt.Sprintf("netem: loss %v outside [0, 1)", loss))
 	}
 	l.cfg.Loss = loss
+}
+
+// SetDelay changes the propagation delay mid-run — the delay-spike fault
+// hook. Packets already serializing pick up the new delay when they finish,
+// matching how netem applies qdisc changes. Panics on negative delays.
+func (l *Link) SetDelay(delay time.Duration) {
+	if delay < 0 {
+		panic(fmt.Sprintf("netem: negative delay %v", delay))
+	}
+	l.cfg.Delay = delay
+}
+
+// SetJitter changes the per-packet jitter bound mid-run — the reordering
+// fault hook (jitter beyond the serialization interval reorders packets
+// within the channel). Panics on negative jitter.
+func (l *Link) SetJitter(jitter time.Duration) {
+	if jitter < 0 {
+		panic(fmt.Sprintf("netem: negative jitter %v", jitter))
+	}
+	l.cfg.Jitter = jitter
+}
+
+// SetDuplicate changes the duplication probability mid-run. Panics on
+// probabilities outside [0, 1), matching the constructor's validation.
+func (l *Link) SetDuplicate(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netem: duplicate %v outside [0, 1)", p))
+	}
+	l.cfg.Duplicate = p
+}
+
+// SetCorrupt changes the payload-corruption probability mid-run. Panics on
+// probabilities outside [0, 1), matching the constructor's validation.
+func (l *Link) SetCorrupt(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netem: corrupt %v outside [0, 1)", p))
+	}
+	l.cfg.Corrupt = p
 }
 
 // Down reports whether the link is failed.
@@ -233,26 +295,43 @@ func (l *Link) Send(payload []byte) bool {
 			l.trace.Record(obs.EventDatagramLost, l.channel, done, 0, size)
 			return
 		}
-		arrival := done + l.cfg.Delay
-		if l.cfg.Jitter > 0 {
-			arrival += time.Duration(l.rng.Float64() * float64(l.cfg.Jitter))
-		}
-		if l.deliver == nil {
-			l.stats.Delivered++
-			if l.met.delivered != nil {
-				l.met.delivered.Inc()
+		if l.cfg.Corrupt > 0 && len(buf) > 0 && l.rng.Float64() < l.cfg.Corrupt {
+			buf[l.rng.Intn(len(buf))] ^= 1 << uint(l.rng.Intn(8))
+			l.stats.Corrupted++
+			if l.met.corrupted != nil {
+				l.met.corrupted.Inc()
 			}
-			l.trace.Record(obs.EventDatagramDelivered, l.channel, done, 0, int64(arrival-done))
-			return
 		}
-		l.eng.At(arrival, func() {
-			l.stats.Delivered++
-			if l.met.delivered != nil {
-				l.met.delivered.Inc()
+		copies := 1
+		if l.cfg.Duplicate > 0 && l.rng.Float64() < l.cfg.Duplicate {
+			copies = 2
+			l.stats.Duplicated++
+			if l.met.duplicated != nil {
+				l.met.duplicated.Inc()
 			}
-			l.trace.Record(obs.EventDatagramDelivered, l.channel, arrival, 0, int64(arrival-done))
-			l.deliver(buf, arrival)
-		})
+		}
+		for c := 0; c < copies; c++ {
+			arrival := done + l.cfg.Delay
+			if l.cfg.Jitter > 0 {
+				arrival += time.Duration(l.rng.Float64() * float64(l.cfg.Jitter))
+			}
+			if l.deliver == nil {
+				l.stats.Delivered++
+				if l.met.delivered != nil {
+					l.met.delivered.Inc()
+				}
+				l.trace.Record(obs.EventDatagramDelivered, l.channel, done, 0, int64(arrival-done))
+				continue
+			}
+			l.eng.At(arrival, func() {
+				l.stats.Delivered++
+				if l.met.delivered != nil {
+					l.met.delivered.Inc()
+				}
+				l.trace.Record(obs.EventDatagramDelivered, l.channel, arrival, 0, int64(arrival-done))
+				l.deliver(buf, arrival)
+			})
+		}
 	})
 	return true
 }

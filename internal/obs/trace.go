@@ -42,6 +42,23 @@ const (
 	// EventChannelUnwritable: a channel transitioned to unwritable (queue
 	// full or link down). Value is the transmit queue depth.
 	EventChannelUnwritable
+	// EventSymbolScheduled: the sender committed a share schedule for one
+	// symbol. Channel is -1 (schedules span channels), Seq the symbol
+	// sequence, Value packs the schedule as threshold<<8 | multiplicity.
+	// The chaos suite asserts Value>>8 never drops below ⌊κ⌋.
+	EventSymbolScheduled
+	// EventChannelStateChanged: the sender's health tracker moved a channel
+	// to a new state. Channel is the link index, Value the new HealthState
+	// (0 healthy, 1 suspect, 2 down, 3 probing).
+	EventChannelStateChanged
+	// EventChannelProbe: the health tracker admitted a probe datagram on a
+	// down channel. Channel is the link index, Value the probe backoff
+	// interval in nanoseconds.
+	EventChannelProbe
+	// EventFaultInjected: the chaos scripter applied one fault transition
+	// to a channel. Channel is the link index (-1 for all channels), Value
+	// the chaos fault kind.
+	EventFaultInjected
 )
 
 // String names the event kind for logs and dumps.
@@ -65,6 +82,14 @@ func (k EventKind) String() string {
 		return "channel-writable"
 	case EventChannelUnwritable:
 		return "channel-unwritable"
+	case EventSymbolScheduled:
+		return "symbol-scheduled"
+	case EventChannelStateChanged:
+		return "channel-state-changed"
+	case EventChannelProbe:
+		return "channel-probe"
+	case EventFaultInjected:
+		return "fault-injected"
 	}
 	return "unknown"
 }

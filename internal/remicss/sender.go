@@ -58,6 +58,11 @@ type SenderConfig struct {
 	// permanently refuses sequence numbers it has already delivered, so
 	// restarting from zero would discard the reused range as late shares.
 	FirstSeq uint64
+	// Health, when non-nil, receives every share send outcome
+	// (HealthTracker.ObserveSend), driving the per-channel failure EWMA
+	// and failover state machine. Pair it with a HealthChooser so the
+	// schedule actually avoids channels the tracker declares down.
+	Health *HealthTracker
 }
 
 // senderChannelCounters are the per-channel metric handles, resolved once
@@ -115,10 +120,11 @@ func newSenderMetrics(reg *obs.Registry, n int) senderMetrics {
 // crypto/rand.Reader is; a seeded *math/rand.Rand (test determinism) is
 // not, and such senders must be driven from one goroutine.
 type Sender struct {
-	cfg   SenderConfig
-	links []Link
-	met   senderMetrics
-	trace *obs.Trace
+	cfg    SenderConfig
+	links  []Link
+	met    senderMetrics
+	trace  *obs.Trace
+	health *HealthTracker
 
 	// seq is the next sequence number to assign. Atomic: Send claims
 	// numbers with a single Add, no lock held.
@@ -213,6 +219,7 @@ func NewSender(cfg SenderConfig, links []Link) (*Sender, error) {
 		links:   links,
 		met:     newSenderMetrics(reg, len(links)),
 		trace:   cfg.Trace,
+		health:  cfg.Health,
 		chooser: cfg.Chooser,
 		linkMu:  make([]sync.Mutex, len(links)),
 	}
@@ -274,6 +281,10 @@ func (s *Sender) Send(payload []byte) error {
 
 	seq := s.seq.Add(1) - 1
 	now := s.cfg.Clock()
+	// The committed schedule is ground truth for the threshold-floor
+	// invariant: chaos tests assert Value>>8 (the threshold) never drops
+	// below ⌊κ⌋ across every scheduled symbol.
+	s.trace.Record(obs.EventSymbolScheduled, -1, now, seq, int64(k)<<8|int64(m))
 
 	shareIdx := 0
 	for i := 0; i < len(s.links); i++ {
@@ -308,6 +319,7 @@ func (s *Sender) Send(payload []byte) error {
 			s.met.perChan[i].dropped.Inc()
 			s.trace.Record(obs.EventDatagramDropped, int32(i), now, seq, int64(len(sc.dgram)))
 		}
+		s.health.ObserveSend(i, delivered)
 		shareIdx++
 	}
 	s.met.symbolsSent.Inc()
@@ -410,6 +422,7 @@ func (s *Sender) SendBatch(payloads [][]byte) (int, error) {
 			sc.ops = sc.ops[:opStart]
 			continue
 		}
+		s.trace.Record(obs.EventSymbolScheduled, -1, now, seq, int64(ch.k)<<8|int64(m))
 		planned++
 	}
 
@@ -428,13 +441,15 @@ func (s *Sender) SendBatch(payloads [][]byte) (int, error) {
 				s.linkMu[li].Lock()
 				locked = true
 			}
-			if s.links[li].Send(op.buf) {
+			delivered := s.links[li].Send(op.buf)
+			if delivered {
 				s.met.perChan[li].sent.Inc()
 				s.trace.Record(obs.EventShareSent, op.link, op.now, op.seq, int64(len(op.buf)))
 			} else {
 				s.met.perChan[li].dropped.Inc()
 				s.trace.Record(obs.EventDatagramDropped, op.link, op.now, op.seq, int64(len(op.buf)))
 			}
+			s.health.ObserveSend(li, delivered)
 		}
 		if locked {
 			s.linkMu[li].Unlock()

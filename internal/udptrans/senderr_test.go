@@ -1,0 +1,44 @@
+package udptrans
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestLastSendErrorSurfacesSocketError drives a connected UDP socket into
+// ECONNREFUSED: the first write to an unbound loopback port elicits an
+// ICMP port-unreachable, which Linux reports on a subsequent write. Send
+// then returns false and LastSendError carries the cause.
+func TestLastSendErrorSurfacesSocketError(t *testing.T) {
+	// Reserve a port, then release it so nothing listens there.
+	probe, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.LocalAddr().String()
+	probe.Close()
+
+	l, err := Dial(addr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.LastSendError(); got != nil {
+		t.Fatalf("LastSendError = %v before any send", got)
+	}
+	sawFailure := false
+	for i := 0; i < 50 && !sawFailure; i++ {
+		if !l.Send([]byte{1, 2, 3}) {
+			sawFailure = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawFailure {
+		t.Skip("no ICMP-driven write error on this host; nothing to assert")
+	}
+	if got := l.LastSendError(); got == nil {
+		t.Error("Send reported failure but LastSendError is nil")
+	}
+}

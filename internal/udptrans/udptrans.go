@@ -76,12 +76,36 @@ type Link struct {
 
 	closed bool // guarded by mu
 
+	lastErr error // guarded by mu
+
 	// Optional observability, attached via Instrument; all nil when
 	// uninstrumented. Handles are atomic, so Send updates them outside mu.
 	metSent    *obs.Counter
 	metPaced   *obs.Counter
 	metLost    *obs.Counter
 	metSockErr *obs.Counter
+}
+
+// noteSockErr counts a failed socket write and retains the error for
+// LastSendError.
+func (l *Link) noteSockErr(err error) {
+	if l.metSockErr != nil {
+		l.metSockErr.Inc()
+	}
+	l.mu.Lock()
+	l.lastErr = err
+	l.mu.Unlock()
+}
+
+// LastSendError returns the most recent socket-level write error, or nil
+// if no write has failed. Send itself only reports a boolean (UDP is
+// best-effort and the protocol treats socket errors as drops); this
+// surfaces the underlying cause for health tracking and diagnostics —
+// e.g. distinguishing a paced drop from ENETUNREACH on a dead interface.
+func (l *Link) LastSendError() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
 }
 
 // Instrument registers per-channel series on reg and mirrors Send outcomes
@@ -238,8 +262,8 @@ func (l *Link) Send(datagram []byte) bool {
 			closed := l.closed
 			l.mu.Unlock()
 			if !closed {
-				if _, err := l.conn.Write(buf); err != nil && l.metSockErr != nil {
-					l.metSockErr.Inc()
+				if _, err := l.conn.Write(buf); err != nil {
+					l.noteSockErr(err)
 				}
 			}
 		})
@@ -250,9 +274,7 @@ func (l *Link) Send(datagram []byte) bool {
 		l.metSent.Inc()
 	}
 	if err != nil {
-		if l.metSockErr != nil {
-			l.metSockErr.Inc()
-		}
+		l.noteSockErr(err)
 		return false
 	}
 	return true

@@ -138,6 +138,29 @@ type (
 	ReceiverStats = remicss.ReceiverStats
 	// FixedChooser always uses one (k, M).
 	FixedChooser = remicss.FixedChooser
+	// HealthState is one state of the per-channel health machine
+	// (healthy → suspect → down → probing).
+	HealthState = remicss.HealthState
+	// HealthConfig tunes the channel health tracker (EWMA weight,
+	// state thresholds, probe backoff).
+	HealthConfig = remicss.HealthConfig
+	// HealthTracker maintains per-channel failure EWMAs and the failover
+	// state machine consulted by NewHealthChooser.
+	HealthTracker = remicss.HealthTracker
+	// HealthOption configures a health chooser (see ResolveSchedule).
+	HealthOption = remicss.HealthOption
+)
+
+// The channel health states, in escalation order.
+const (
+	// HealthHealthy: the channel carries traffic normally.
+	HealthHealthy = remicss.HealthHealthy
+	// HealthSuspect: elevated failure EWMA; still scheduled.
+	HealthSuspect = remicss.HealthSuspect
+	// HealthDown: excluded from the share schedule until a probe is due.
+	HealthDown = remicss.HealthDown
+	// HealthProbing: probe traffic admitted; outcomes decide recovery.
+	HealthProbing = remicss.HealthProbing
 )
 
 // Protocol errors re-exported for errors.Is.
@@ -166,6 +189,32 @@ func NewDynamicChooser(kappa, mu float64, rng *rand.Rand) (Chooser, error) {
 // e.g. an LP optimum.
 func NewStaticChooser(sched Schedule, n int, rng *rand.Rand) (Chooser, error) {
 	return remicss.NewStaticChooser(sched, n, rng)
+}
+
+// NewHealthTracker builds a channel health tracker for n channels: the
+// per-channel failure EWMA and healthy → suspect → down → probing state
+// machine that drives failover. clock supplies the probe timebase;
+// metrics (may be nil) receives the remicss_channel_* series; trace (may
+// be nil) receives state-change and probe events.
+func NewHealthTracker(cfg HealthConfig, n int, clock func() time.Duration, metrics *MetricsRegistry, trace *EventTrace) (*HealthTracker, error) {
+	return remicss.NewHealthTracker(cfg, n, clock, metrics, trace)
+}
+
+// NewHealthChooser builds the failover-aware dynamic chooser: shares are
+// dithered around (kappa, mu) like NewDynamicChooser, but placed only on
+// channels the tracker deems usable, clamping the multiplicity — never
+// the threshold, which stays at or above ⌊κ⌋ — when channels are down.
+func NewHealthChooser(kappa, mu float64, tracker *HealthTracker, rng *rand.Rand, opts ...HealthOption) (Chooser, error) {
+	return remicss.NewHealthChooser(kappa, mu, tracker, rng, opts...)
+}
+
+// ResolveSchedule switches a health chooser from multiplicity clamping to
+// LP re-solving: on every usable-set change the Section IV-B program is
+// re-solved over the surviving channels (with the Section IV-E limited
+// constraint keeping thresholds at or above ⌊κ⌋) and shares are placed by
+// sampling the new optimum.
+func ResolveSchedule(set ChannelSet, obj Objective) HealthOption {
+	return remicss.Resolve(set, obj)
 }
 
 // SharingScheme splits symbols into threshold shares and reconstructs them.

@@ -45,6 +45,15 @@ type SessionConfig struct {
 	// (share-sent, datagram-dropped, symbol-delivered, ...). Nil disables
 	// tracing.
 	Trace *EventTrace
+	// Health, when non-nil, enables sender-side channel health tracking
+	// and failover: send failures drive a per-channel EWMA and state
+	// machine (healthy → suspect → down → probing with exponential
+	// backoff), down channels are excluded from the share schedule, and
+	// the multiplicity degrades — never the threshold, which stays at or
+	// above ⌊κ⌋ — while channels are out. The zero HealthConfig value
+	// selects the defaults, so &HealthConfig{} turns failover on as-is.
+	// Sender side only.
+	Health *HealthConfig
 }
 
 func (c SessionConfig) scheme() (SharingScheme, error) {
@@ -74,6 +83,7 @@ type Client struct {
 	mu     sync.Mutex
 	sender *Sender
 	links  []Link
+	health *HealthTracker
 	closed bool // guarded by mu
 }
 
@@ -96,7 +106,19 @@ func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
 		}
 		seed = int64(binary.LittleEndian.Uint64(raw[:]))
 	}
-	chooser, err := NewDynamicChooser(p.Kappa, p.Mu, rand.New(rand.NewSource(seed)))
+	var (
+		chooser Chooser
+		tracker *HealthTracker
+	)
+	if cfg.Health != nil {
+		tracker, err = NewHealthTracker(*cfg.Health, len(addrs), WallClock, cfg.Metrics, cfg.Trace)
+		if err != nil {
+			return nil, err
+		}
+		chooser, err = NewHealthChooser(p.Kappa, p.Mu, tracker, rand.New(rand.NewSource(seed)))
+	} else {
+		chooser, err = NewDynamicChooser(p.Kappa, p.Mu, rand.New(rand.NewSource(seed)))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +137,7 @@ func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
 		Clock:   WallClock,
 		Metrics: cfg.Metrics,
 		Trace:   cfg.Trace,
+		Health:  tracker,
 	}, links)
 	if err != nil {
 		for _, l := range links {
@@ -122,7 +145,7 @@ func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
 		}
 		return nil, err
 	}
-	return &Client{sender: sender, links: links}, nil
+	return &Client{sender: sender, links: links, health: tracker}, nil
 }
 
 // Send transmits one message (up to ~64 KiB minus headers) as a single
@@ -163,6 +186,11 @@ func (c *Client) Stats() SenderStats { return c.sender.Stats() }
 // Metrics returns the registry holding the client's series (the one from
 // SessionConfig.Metrics, or the private registry created in its absence).
 func (c *Client) Metrics() *MetricsRegistry { return c.sender.Metrics() }
+
+// Health returns the client's channel health tracker, or nil when
+// SessionConfig.Health was not set. Use it to inspect per-channel states
+// and failure EWMAs at runtime.
+func (c *Client) Health() *HealthTracker { return c.health }
 
 // Close releases the channel sockets.
 func (c *Client) Close() error {
