@@ -38,6 +38,12 @@ type Config struct {
 	// DecayAfter is how many consecutive clean observations precede a μ
 	// decrease. Defaults to 3.
 	DecayAfter int
+	// Cache memoizes Retune's max-rate solves by quantized channel state and
+	// probed (κ, μ), so periodic retuning over a slowly-drifting risk vector
+	// is a cache hit or a warm simplex re-solve instead of a cold solve. Nil
+	// gives the controller a private cache. A shared cache must be built
+	// with the zero schedule.Options (what Retune solves with).
+	Cache *schedule.Cache
 }
 
 func (c *Config) applyDefaults() {
@@ -77,6 +83,9 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.KappaFloor > float64(cfg.N) {
 		return nil, fmt.Errorf("adapt: kappa floor %v above n=%d", cfg.KappaFloor, cfg.N)
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = schedule.NewCache(schedule.CacheConfig{})
 	}
 	return &Controller{cfg: cfg, kappa: cfg.KappaFloor, mu: cfg.KappaFloor}, nil
 }
@@ -121,7 +130,7 @@ func (c *Controller) Retune(set core.Set) (float64, float64, error) {
 	var lastRisk float64
 	for kappa := c.cfg.KappaFloor; kappa <= n; kappa++ {
 		mu := math.Max(c.mu, kappa)
-		sched, err := schedule.OptimizeAtMaxRate(set, kappa, mu, schedule.ObjectiveRisk, schedule.Options{})
+		sched, _, err := c.cfg.Cache.OptimizeAtMaxRate(set, kappa, mu, schedule.ObjectiveRisk)
 		if err != nil {
 			return 0, 0, fmt.Errorf("adapt: optimizing at κ=%v: %w", kappa, err)
 		}

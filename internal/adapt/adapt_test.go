@@ -8,7 +8,9 @@ import (
 
 	"remicss/internal/core"
 	"remicss/internal/netem"
+	"remicss/internal/obs"
 	"remicss/internal/remicss"
+	"remicss/internal/schedule"
 	"remicss/internal/sharing"
 )
 
@@ -123,6 +125,49 @@ func TestRetuneFindsMinimalKappa(t *testing.T) {
 	if k2 != kappa {
 		t.Errorf("retune from lower floor found κ=%v (risk %v), want %v", k2, risk2, kappa)
 	}
+}
+
+// TestRetuneRoutesThroughCache: the controller's max-rate solves must go
+// through the schedule cache, so a repeated Retune over an unchanged (or
+// sub-grid-drifted) risk vector hits instead of re-solving, and the result
+// is unchanged.
+func TestRetuneRoutesThroughCache(t *testing.T) {
+	reg := obs.NewRegistry()
+	cache := schedule.NewCache(schedule.CacheConfig{Metrics: reg})
+	c, err := New(Config{N: 4, TargetLoss: 0.01, MaxRisk: 0.05, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := testSet([]float64{0.2, 0.2, 0.2, 0.2})
+	k1, r1, err := c.Retune(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := counterOn(t, reg, "remicss_schedule_cache_misses_total")
+	if missesAfterFirst == 0 {
+		t.Fatal("first Retune recorded no cache misses; solves bypassed the cache")
+	}
+	k2, r2, err := c.Retune(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || r1 != r2 {
+		t.Errorf("cached Retune diverged: (%v, %v) then (%v, %v)", k1, r1, k2, r2)
+	}
+	if hits := counterOn(t, reg, "remicss_schedule_cache_hits_total"); hits == 0 {
+		t.Error("remicss_schedule_cache_hits_total never advanced on a repeated Retune")
+	}
+}
+
+func counterOn(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, s := range reg.Gather() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("series %s not registered", name)
+	return 0
 }
 
 func TestRetuneUnreachableTarget(t *testing.T) {

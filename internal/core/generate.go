@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"remicss/internal/stats"
+)
+
+// WideAssignment is an assignment for channel sets too large for uint32
+// subset masks: a threshold k together with an explicit, ascending list of
+// member channel indices. It is the wide-set analogue of Assignment, used
+// by the sampled/pruned generation path that scales to hundreds of
+// channels.
+type WideAssignment struct {
+	K       int
+	Members []int
+}
+
+// M returns the multiplicity |M|.
+func (a WideAssignment) M() int { return len(a.Members) }
+
+// Valid reports whether 1 <= k <= |M| and the members are strictly
+// ascending indices within an n-channel set.
+func (a WideAssignment) Valid(n int) bool {
+	if len(a.Members) == 0 || a.K < 1 || a.K > len(a.Members) {
+		return false
+	}
+	prev := -1
+	for _, i := range a.Members {
+		if i <= prev || i >= n {
+			return false
+		}
+		prev = i
+	}
+	return true
+}
+
+// Mask converts the member list to a subset bitmask. The second return is
+// false when any member index is outside uint32 mask range.
+func (a WideAssignment) Mask() (uint32, bool) {
+	var mask uint32
+	for _, i := range a.Members {
+		if i < 0 || i >= 32 {
+			return 0, false
+		}
+		mask |= 1 << uint(i)
+	}
+	return mask, true
+}
+
+// String renders the assignment for diagnostics, e.g. "(2, {0,2,4})".
+func (a WideAssignment) String() string {
+	return fmt.Sprintf("(%d, %v)", a.K, a.Members)
+}
+
+// MembersRisk is SubsetRisk over an explicit member list, usable for sets
+// beyond mask range. Panics on out-of-range members or threshold, like the
+// mask form.
+func (s Set) MembersRisk(k int, members []int) float64 {
+	probs := s.memberValues(members, s.Risks())
+	checkSubsetParams(k, len(probs))
+	return stats.TailAtLeast(probs, k)
+}
+
+// MembersLoss is SubsetLoss over an explicit member list.
+func (s Set) MembersLoss(k int, members []int) float64 {
+	deliver := s.memberValues(members, invertProbs(s.Losses()))
+	checkSubsetParams(k, len(deliver))
+	return stats.TailLess(deliver, k)
+}
+
+// MembersDelay is SubsetDelay over an explicit member list. The cost is
+// exponential in |members| (it enumerates delivery patterns), so callers
+// must keep multiplicities small even when the set is large.
+func (s Set) MembersDelay(k int, members []int) float64 {
+	m := len(members)
+	checkSubsetParams(k, m)
+
+	delays := make([]float64, m)
+	losses := make([]float64, m)
+	for j, i := range members {
+		if i < 0 || i >= len(s) {
+			panic(fmt.Sprintf("core: member %d outside set of %d", i, len(s)))
+		}
+		delays[j] = s[i].Delay.Seconds()
+		losses[j] = s[i].Loss
+	}
+
+	var weighted, pDeliver float64
+	full := uint32(1)<<uint(m) - 1
+	for sub := full; ; sub = (sub - 1) & full {
+		if bits.OnesCount32(sub) >= k {
+			p := 1.0
+			for j := 0; j < m; j++ {
+				if sub&(1<<uint(j)) != 0 {
+					p *= 1 - losses[j]
+				} else {
+					p *= losses[j]
+				}
+			}
+			if p > 0 {
+				weighted += stats.KthSmallest(delays, sub, k) * p
+				pDeliver += p
+			}
+		}
+		if sub == 0 {
+			break
+		}
+	}
+	if pDeliver <= 0 {
+		panic("core: subset delay undefined: certain loss")
+	}
+	return weighted / pDeliver
+}
+
+// memberValues extracts values[i] for each member index, panicking on
+// out-of-range indices.
+func (s Set) memberValues(members []int, values []float64) []float64 {
+	out := make([]float64, len(members))
+	for j, i := range members {
+		if i < 0 || i >= len(values) {
+			panic(fmt.Sprintf("core: member %d outside set of %d", i, len(s)))
+		}
+		out[j] = values[i]
+	}
+	return out
+}
+
+// GenConfig tunes sampled/pruned assignment generation. The zero value
+// selects the documented defaults.
+type GenConfig struct {
+	// Spread widens the multiplicity window beyond [⌊µ⌋, ⌈µ⌉]: subsets of
+	// size m are generated for m within Spread of that interval (clamped to
+	// the valid range). Default 2.
+	Spread int
+	// Samples is the number of seeded-random member subsets drawn per
+	// multiplicity, on top of the deterministic greedy subsets. Default 32.
+	Samples int
+	// Seed seeds the sampling RNG; generation is fully deterministic for a
+	// fixed (set, kappa, mu, config). Default 1 (a zero seed is replaced).
+	Seed int64
+	// MaxMultiplicity caps |M| for generated assignments, bounding the
+	// exponential cost of delay evaluation. It never cuts below ⌈µ⌉, which
+	// feasibility requires. Default 22 (= stats.MaxEnumerationBits).
+	MaxMultiplicity int
+	// ExtendTo adds greedy-only subsets (no sampling, no pruning) for
+	// multiplicities above the sampled window, up to min(n, ExtendTo).
+	// Larger subsets strictly reduce loss and delay at a fixed threshold,
+	// so without them the unlimited program can be badly approximated;
+	// greedy subsets capture that tail cheaply. Default 12.
+	ExtendTo int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Spread <= 0 {
+		c.Spread = 2
+	}
+	if c.Samples <= 0 {
+		c.Samples = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxMultiplicity <= 0 {
+		c.MaxMultiplicity = stats.MaxEnumerationBits
+	}
+	if c.ExtendTo <= 0 {
+		c.ExtendTo = 12
+	}
+	return c
+}
+
+// GenerateWideAssignments builds a candidate choice set for the Section
+// IV-B/IV-D programs without enumerating all 2^n subsets, so it scales to
+// hundreds of channels. For each multiplicity m in a window around µ it
+// emits:
+//
+//   - greedy subsets: the m best channels by each single criterion (risk,
+//     loss, delay, rate) and by balanced rank — for the tail statistics the
+//     per-criterion greedy subset is exactly optimal among size-m subsets;
+//   - seeded-random subsets for diversity, with dominance pruning: a
+//     sampled subset strictly worse than another same-size candidate in
+//     risk, loss, AND delay (at the representative threshold) is dropped.
+//
+// Thresholds k run over [1, m] (or [⌊κ⌋, m] when limited). The window
+// always contains ⌊µ⌋ and ⌈µ⌉ and thresholds ⌊κ⌋ and ⌈κ⌉, so the convex
+// hull of generated (k, |M|) pairs contains (κ, µ) and the LP over the
+// candidates is feasible whenever the exhaustive program is. The output is
+// deterministic and sorted (by k, then members lexicographically). See
+// DESIGN §11 for the approximation bound.
+func GenerateWideAssignments(s Set, kappa, mu float64, limited bool, cfg GenConfig) []WideAssignment {
+	cfg = cfg.withDefaults()
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+
+	kFloor := 1
+	mFloor := 1
+	if limited {
+		kFloor = int(math.Floor(kappa))
+		mFloor = int(math.Floor(mu))
+	}
+	mLo := max(1, mFloor, int(math.Floor(mu))-cfg.Spread)
+	mHi := min(n, int(math.Ceil(mu))+cfg.Spread)
+	if lid := max(int(math.Ceil(mu)), cfg.MaxMultiplicity); mHi > lid {
+		mHi = lid
+	}
+	if mLo > mHi {
+		mLo = mHi
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []WideAssignment
+	for m := mLo; m <= mHi; m++ {
+		subsets := s.candidateSubsets(m, cfg.Samples, rng)
+		kRep := clampInt(int(math.Round(kappa)), max(1, kFloor), m)
+		subsets = s.pruneDominated(subsets, kRep)
+		for _, members := range subsets {
+			for k := max(1, kFloor); k <= m; k++ {
+				out = append(out, WideAssignment{K: k, Members: members})
+			}
+		}
+	}
+
+	// Greedy-only tail: larger subsets strictly reduce loss and delay at a
+	// fixed threshold, so cover multiplicities above the sampled window
+	// with the cheap greedy subsets alone (no sampling, no pruning).
+	for m := mHi + 1; m <= min(n, cfg.ExtendTo); m++ {
+		subsets := s.candidateSubsets(m, 0, rng)
+		for _, members := range subsets {
+			for k := max(1, kFloor); k <= m; k++ {
+				out = append(out, WideAssignment{K: k, Members: members})
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].K != out[j].K {
+			return out[i].K < out[j].K
+		}
+		return lessIntSlices(out[i].Members, out[j].Members)
+	})
+	return out
+}
+
+// GenerateAssignments is GenerateWideAssignments for mask-representable
+// sets (n <= 32): the same candidate generation, returned as bitmask
+// assignments compatible with Schedule. It panics beyond mask range.
+func GenerateAssignments(s Set, kappa, mu float64, limited bool, cfg GenConfig) []Assignment {
+	wide := GenerateWideAssignments(s, kappa, mu, limited, cfg)
+	out := make([]Assignment, len(wide))
+	for i, a := range wide {
+		mask, ok := a.Mask()
+		if !ok {
+			panic(fmt.Sprintf("core: set of %d channels exceeds mask range", len(s)))
+		}
+		out[i] = Assignment{K: a.K, Mask: mask}
+	}
+	return out
+}
+
+// candidateSubsets returns deduplicated member subsets of size m: the
+// greedy per-criterion subsets followed by seeded-random samples. All
+// member lists are ascending.
+func (s Set) candidateSubsets(m, samples int, rng *rand.Rand) [][]int {
+	n := len(s)
+	seen := make(map[string]bool)
+	var out [][]int
+	add := func(members []int) {
+		key := subsetKey(members)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, members)
+		}
+	}
+
+	// Greedy subsets: the m best channels by each criterion. For the
+	// Poisson-binomial tails these are exactly the size-m minimizers of
+	// subset risk (smallest risks) and subset loss (smallest losses); for
+	// delay and rate they are strong heuristics.
+	add(s.bestBy(m, func(c Channel) float64 { return c.Risk }))
+	add(s.bestBy(m, func(c Channel) float64 { return c.Loss }))
+	add(s.bestBy(m, func(c Channel) float64 { return c.Delay.Seconds() }))
+	add(s.bestBy(m, func(c Channel) float64 { return -c.Rate }))
+	add(s.bestByRankSum(m))
+
+	// Seeded-random samples for diversity across the remaining space.
+	pool := make([]int, n)
+	for i := range pool {
+		pool[i] = i
+	}
+	for t := 0; t < samples; t++ {
+		for j := 0; j < m; j++ { // partial Fisher-Yates
+			r := j + rng.Intn(n-j)
+			pool[j], pool[r] = pool[r], pool[j]
+		}
+		members := append([]int(nil), pool[:m]...)
+		sort.Ints(members)
+		add(members)
+	}
+	return out
+}
+
+// bestBy returns the indices of the m channels with the smallest value,
+// ties broken by index for determinism, returned ascending.
+func (s Set) bestBy(m int, value func(Channel) float64) []int {
+	idx := make([]int, len(s))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return value(s[idx[a]]) < value(s[idx[b]])
+	})
+	members := append([]int(nil), idx[:m]...)
+	sort.Ints(members)
+	return members
+}
+
+// bestByRankSum returns the m channels with the smallest summed rank across
+// risk, loss, and delay — a balanced compromise subset.
+func (s Set) bestByRankSum(m int) []int {
+	ranks := make([]float64, len(s))
+	for _, value := range []func(Channel) float64{
+		func(c Channel) float64 { return c.Risk },
+		func(c Channel) float64 { return c.Loss },
+		func(c Channel) float64 { return c.Delay.Seconds() },
+	} {
+		idx := make([]int, len(s))
+		for i := range idx {
+			idx[i] = i
+		}
+		v := value
+		sort.SliceStable(idx, func(a, b int) bool { return v(s[idx[a]]) < v(s[idx[b]]) })
+		for r, i := range idx {
+			ranks[i] += float64(r)
+		}
+	}
+	idx := make([]int, len(s))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ranks[idx[a]] < ranks[idx[b]] })
+	members := append([]int(nil), idx[:m]...)
+	sort.Ints(members)
+	return members
+}
+
+// pruneDominated drops subsets strictly worse than another candidate in
+// risk, loss, and delay, all evaluated at the representative threshold
+// kRep. The tails are monotone in the per-channel values, so a subset
+// dominated at kRep is (empirically) dominated across the threshold range;
+// ties survive, so every (k, m) group keeps at least one subset and LP
+// feasibility is unaffected.
+func (s Set) pruneDominated(subsets [][]int, kRep int) [][]int {
+	type triple struct{ risk, loss, delay float64 }
+	metrics := make([]triple, len(subsets))
+	for i, members := range subsets {
+		metrics[i] = triple{
+			risk:  s.MembersRisk(kRep, members),
+			loss:  s.MembersLoss(kRep, members),
+			delay: s.MembersDelay(kRep, members),
+		}
+	}
+	var out [][]int
+	for i, members := range subsets {
+		dominated := false
+		for j := range subsets {
+			if i == j {
+				continue
+			}
+			if metrics[j].risk < metrics[i].risk &&
+				metrics[j].loss < metrics[i].loss &&
+				metrics[j].delay < metrics[i].delay {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, members)
+		}
+	}
+	return out
+}
+
+// subsetKey encodes an ascending member list as a map key.
+func subsetKey(members []int) string {
+	b := make([]byte, 0, 2*len(members))
+	for _, i := range members {
+		b = append(b, byte(i>>8), byte(i))
+	}
+	return string(b)
+}
+
+func lessIntSlices(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -46,41 +46,7 @@ func (s Set) SubsetDelay(k int, mask uint32) float64 {
 	if idx[len(idx)-1] >= len(s) {
 		panic(fmt.Sprintf("core: mask %b selects channel beyond set of %d", mask, len(s)))
 	}
-	delays := make([]float64, m)
-	losses := make([]float64, m)
-	for j, i := range idx {
-		delays[j] = s[i].Delay.Seconds()
-		losses[j] = s[i].Loss
-	}
-
-	var weighted, pDeliver float64
-	full := uint32(1)<<uint(m) - 1
-	for sub := full; ; sub = (sub - 1) & full {
-		if bits.OnesCount32(sub) >= k {
-			p := 1.0
-			for j := 0; j < m; j++ {
-				if sub&(1<<uint(j)) != 0 {
-					p *= 1 - losses[j]
-				} else {
-					p *= losses[j]
-				}
-			}
-			if p > 0 {
-				weighted += stats.KthSmallest(delays, sub, k) * p
-				pDeliver += p
-			}
-		}
-		if sub == 0 {
-			break
-		}
-	}
-	if pDeliver <= 0 {
-		// All delivery patterns with >= k arrivals have probability zero;
-		// the symbol is lost with certainty, so the conditional delay is
-		// undefined. This cannot happen for channels with Loss < 1.
-		panic("core: subset delay undefined: certain loss")
-	}
-	return weighted / pDeliver
+	return s.MembersDelay(k, idx)
 }
 
 // checkSubsetParams panics unless 1 <= k <= m.

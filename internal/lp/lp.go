@@ -9,6 +9,13 @@
 // dense, so a textbook tableau method with Bland's anti-cycling rule is the
 // right tool. Inequality constraints can be expressed by the caller with
 // explicit slack variables; the schedule programs are naturally equalities.
+//
+// Two entry points exist. Solve is the one-shot API. Solver retains the
+// factored tableau and basis between calls so that a re-solve of a
+// perturbed problem (the adaptation path: one channel's (z, l, d, r) moved,
+// shifting the objective or the right-hand side) re-enters the simplex from
+// the prior optimal basis and converges in a handful of pivots instead of a
+// full two-phase run — see Solver.WarmSolve.
 package lp
 
 import (
@@ -25,6 +32,12 @@ var (
 	ErrUnbounded = errors.New("lp: unbounded")
 	// ErrBadProblem means the problem dimensions are inconsistent.
 	ErrBadProblem = errors.New("lp: malformed problem")
+	// ErrIterationLimit means the simplex hit its iteration cap. Bland's
+	// rule guarantees termination, so this indicates either a logic error
+	// or numerical cycling; warm-start debugging distinguishes it from
+	// ErrInfeasible by this sentinel. The wrapped message carries the
+	// iteration count.
+	ErrIterationLimit = errors.New("lp: iteration limit reached")
 )
 
 // pivotTolerance distinguishes zero from rounding noise during pivoting.
@@ -34,9 +47,8 @@ const pivotTolerance = 1e-9
 // feasible problem.
 const feasibilityTolerance = 1e-7
 
-// maxIterations caps simplex iterations as a defense against bugs; Bland's
-// rule guarantees termination, so hitting the cap indicates a logic error.
-const maxIterations = 100000
+// defaultMaxIterations caps simplex iterations as a defense against bugs.
+const defaultMaxIterations = 100000
 
 // Problem is a linear program in standard form: minimize C·x subject to
 // A x = B and x >= 0. Every row of A must have len(C) entries.
@@ -86,7 +98,10 @@ func (p Problem) validate() error {
 }
 
 // tableau is the working state of the simplex method: rows of the constraint
-// matrix augmented with the right-hand side, plus the current basis.
+// matrix augmented with the right-hand side, plus the current basis. The
+// structural columns always include one artificial column per row (columns
+// n..n+m-1), kept through phase 2 so that they continuously hold B^{-1} —
+// the factorization warm starts and dual extraction both read.
 type tableau struct {
 	rows  [][]float64 // m x (cols+1); last column is the RHS
 	basis []int       // basis[i] = variable index basic in row i
@@ -94,87 +109,10 @@ type tableau struct {
 }
 
 // Solve finds an optimal solution to the problem, or reports infeasibility
-// or unboundedness.
+// or unboundedness. One-shot form of Solver.Solve.
 func Solve(p Problem) (Solution, error) {
-	if err := p.validate(); err != nil {
-		return Solution{}, err
-	}
-	n := len(p.C)
-	m := len(p.A)
-
-	// Build the phase-1 tableau: original columns plus one artificial
-	// variable per row, with b >= 0 enforced by row negation.
-	t := &tableau{
-		rows:  make([][]float64, m),
-		basis: make([]int, m),
-		cols:  n + m,
-	}
-	signs := make([]float64, m)
-	for i := 0; i < m; i++ {
-		row := make([]float64, t.cols+1)
-		sign := 1.0
-		if p.B[i] < 0 {
-			sign = -1
-		}
-		signs[i] = sign
-		for j := 0; j < n; j++ {
-			row[j] = sign * p.A[i][j]
-		}
-		row[n+i] = 1
-		row[t.cols] = sign * p.B[i]
-		t.rows[i] = row
-		t.basis[i] = n + i
-	}
-
-	// Phase 1: minimize the sum of artificial variables.
-	phase1Cost := make([]float64, t.cols)
-	for j := n; j < t.cols; j++ {
-		phase1Cost[j] = 1
-	}
-	if err := t.optimize(phase1Cost, t.cols); err != nil {
-		// Phase 1 is bounded below by zero, so unboundedness here is a bug.
-		return Solution{}, fmt.Errorf("phase 1: %w", err)
-	}
-	if obj := t.objective(phase1Cost); obj > feasibilityTolerance {
-		return Solution{}, fmt.Errorf("%w: phase-1 objective %g", ErrInfeasible, obj)
-	}
-
-	// Drive any remaining artificial variables out of the basis; rows where
-	// that is impossible are redundant constraints and can be zeroed.
-	t.expelArtificials(n)
-
-	// Phase 2: minimize the real objective over the original columns only.
-	phase2Cost := make([]float64, t.cols)
-	copy(phase2Cost, p.C)
-	if err := t.optimize(phase2Cost, n); err != nil {
-		return Solution{}, err
-	}
-
-	x := make([]float64, n)
-	for i, v := range t.basis {
-		if v < n {
-			x[v] = t.rows[i][t.cols]
-		}
-	}
-	var obj float64
-	for j := range x {
-		obj += p.C[j] * x[j]
-	}
-
-	// Duals from the artificial columns: column n+i of the tableau holds
-	// B^{-1} e_i, so y_i = c_B · rows[·][n+i]. Undo the row normalization
-	// signs so duals refer to the caller's constraints.
-	duals := make([]float64, m)
-	for i := 0; i < m; i++ {
-		var y float64
-		for r, v := range t.basis {
-			if v < n && phase2Cost[v] != 0 {
-				y += phase2Cost[v] * t.rows[r][n+i]
-			}
-		}
-		duals[i] = signs[i] * y
-	}
-	return Solution{X: x, Objective: obj, Duals: duals}, nil
+	sol, _, err := NewSolver().Solve(p)
+	return sol, err
 }
 
 // objective evaluates cost over the current basic solution.
@@ -200,9 +138,10 @@ func (t *tableau) reducedCost(cost []float64, j int) float64 {
 }
 
 // optimize runs primal simplex iterations with Bland's rule until no column
-// among the first allowedCols has a negative reduced cost.
-func (t *tableau) optimize(cost []float64, allowedCols int) error {
-	for iter := 0; iter < maxIterations; iter++ {
+// among the first allowedCols has a negative reduced cost. It returns the
+// number of pivots performed.
+func (t *tableau) optimize(cost []float64, allowedCols, maxIter int) (int, error) {
+	for iter := 0; iter < maxIter; iter++ {
 		// Bland's rule: entering variable is the lowest-index column with a
 		// negative reduced cost.
 		enter := -1
@@ -216,7 +155,7 @@ func (t *tableau) optimize(cost []float64, allowedCols int) error {
 			}
 		}
 		if enter == -1 {
-			return nil // optimal
+			return iter, nil // optimal
 		}
 
 		// Ratio test; Bland tie-break on the leaving variable's index.
@@ -233,11 +172,11 @@ func (t *tableau) optimize(cost []float64, allowedCols int) error {
 			}
 		}
 		if leave == -1 {
-			return ErrUnbounded
+			return iter, ErrUnbounded
 		}
 		t.pivot(leave, enter)
 	}
-	return fmt.Errorf("lp: iteration limit reached (internal error)")
+	return maxIter, fmt.Errorf("%w after %d iterations", ErrIterationLimit, maxIter)
 }
 
 func (t *tableau) isBasic(j int) bool {

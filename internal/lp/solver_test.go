@@ -1,0 +1,269 @@
+package lp
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// scheduleLikeProblem builds a Section IV-B-shaped program: nv variables,
+// three rows (Σp = 1, Σp·k = kappa, Σp·m = mu) with k and m coefficient
+// patterns like the schedule program's, and a strictly positive cost.
+func scheduleLikeProblem(rng *rand.Rand, nv int, kappa, mu float64) Problem {
+	p := Problem{
+		C: make([]float64, nv),
+		A: [][]float64{make([]float64, nv), make([]float64, nv), make([]float64, nv)},
+		B: []float64{1, kappa, mu},
+	}
+	for j := 0; j < nv; j++ {
+		p.C[j] = 0.01 + rng.Float64()
+		p.A[0][j] = 1
+		p.A[1][j] = float64(1 + rng.Intn(5)) // k ∈ [1,5]
+		p.A[2][j] = p.A[1][j] + float64(rng.Intn(3))
+	}
+	// Anchor columns whose convex hull covers every (kappa, mu) the tests
+	// use, so the random instances are always feasible.
+	p.A[1][0], p.A[2][0] = 1, 1
+	p.A[1][1], p.A[2][1] = 5, 7
+	p.A[1][2], p.A[2][2] = 1, 3
+	return p
+}
+
+func solveBoth(t *testing.T, s *Solver, prev *Basis, p Problem) (warm Solution, cold Solution, next *Basis) {
+	t.Helper()
+	warm, next, err := s.WarmSolve(prev, p)
+	if err != nil {
+		t.Fatalf("WarmSolve: %v", err)
+	}
+	cold, err = Solve(p)
+	if err != nil {
+		t.Fatalf("cold Solve: %v", err)
+	}
+	return warm, cold, next
+}
+
+// TestWarmSolveMatchesColdAcrossPerturbations is the differential sweep: a
+// chain of randomized objective and right-hand-side perturbations must keep
+// WarmSolve's optimum identical (within tolerance) to a from-scratch solve.
+func TestWarmSolveMatchesColdAcrossPerturbations(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 10 + rng.Intn(60)
+		p := scheduleLikeProblem(rng, nv, 2+rng.Float64(), 3+rng.Float64())
+
+		s := NewSolver()
+		_, basis, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("seed %d: initial solve: %v", seed, err)
+		}
+		for step := 0; step < 25; step++ {
+			switch rng.Intn(3) {
+			case 0: // objective perturbation: one "channel" moved
+				j := rng.Intn(nv)
+				p.C[j] = 0.01 + rng.Float64()
+			case 1: // small objective drift on several columns
+				for k := 0; k < 4; k++ {
+					j := rng.Intn(nv)
+					p.C[j] *= 1 + 0.2*(rng.Float64()-0.5)
+				}
+			case 2: // parameter (κ, μ) drift — perturbs B
+				p.B[1] = 2 + rng.Float64()
+				p.B[2] = p.B[1] + 1 + rng.Float64()
+			}
+			warm, cold, next := solveBoth(t, s, basis, p)
+			if !almostEqual(warm.Objective, cold.Objective, 1e-6) {
+				t.Fatalf("seed %d step %d: warm objective %g != cold %g (tier %v)",
+					seed, step, warm.Objective, cold.Objective, s.LastStats().Tier)
+			}
+			for i := range warm.Duals {
+				if !almostEqual(warm.Duals[i], cold.Duals[i], 1e-6) {
+					t.Fatalf("seed %d step %d: warm dual[%d] %g != cold %g",
+						seed, step, i, warm.Duals[i], cold.Duals[i])
+				}
+			}
+			basis = next
+		}
+	}
+}
+
+// TestWarmSolveTiers checks that WarmSolve picks the advertised reuse tier
+// for each perturbation shape and that warm pivot counts stay small.
+func TestWarmSolveTiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := scheduleLikeProblem(rng, 40, 2.4, 3.2)
+
+	s := NewSolver()
+	_, basis, err := s.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LastStats().Tier; got != TierCold {
+		t.Fatalf("initial solve tier = %v, want cold", got)
+	}
+	coldPivots := s.LastStats().Pivots
+
+	// C-only perturbation → reuse tier.
+	p.C[3] *= 1.05
+	if _, basis, err = s.WarmSolve(basis, p); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.LastStats(); st.Tier != TierReuse {
+		t.Fatalf("C-only perturbation tier = %v, want reuse", st.Tier)
+	} else if st.Pivots > coldPivots {
+		t.Fatalf("warm reuse took %d pivots, cold took %d", st.Pivots, coldPivots)
+	}
+
+	// B perturbation → refresh tier.
+	p.B[1] += 0.05
+	if _, basis, err = s.WarmSolve(basis, p); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.LastStats(); st.Tier != TierRefresh && st.Tier != TierCold {
+		t.Fatalf("B perturbation tier = %v, want refresh (or cold fallback)", st.Tier)
+	}
+
+	// A perturbation, same shape → refactor tier (or cold fallback when the
+	// prior basis is unusable for the new matrix).
+	p.A[1][5]++
+	if _, basis, err = s.WarmSolve(basis, p); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.LastStats(); st.Tier != TierRefactor && st.Tier != TierCold {
+		t.Fatalf("A perturbation tier = %v, want refactor or cold", st.Tier)
+	}
+
+	// Shape change → cold.
+	grown := scheduleLikeProblem(rng, 41, 2.4, 3.2)
+	if _, _, err = s.WarmSolve(basis, grown); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.LastStats(); st.Tier != TierCold {
+		t.Fatalf("shape change tier = %v, want cold", st.Tier)
+	}
+}
+
+// TestWarmSolveNilBasis checks that a nil prev degrades to a cold solve.
+func TestWarmSolveNilBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := scheduleLikeProblem(rng, 12, 2.1, 3.0)
+	s := NewSolver()
+	sol, basis, err := s.WarmSolve(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basis == nil {
+		t.Fatal("WarmSolve returned nil basis on success")
+	}
+	if s.LastStats().Tier != TierCold {
+		t.Fatalf("tier = %v, want cold", s.LastStats().Tier)
+	}
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Objective, cold.Objective, 1e-9) {
+		t.Fatalf("objective %g != cold %g", sol.Objective, cold.Objective)
+	}
+}
+
+// TestWarmSolveInfeasiblePerturbation checks that driving B outside the
+// feasible region surfaces ErrInfeasible through the warm path's cold
+// fallback rather than a wrong answer.
+func TestWarmSolveInfeasiblePerturbation(t *testing.T) {
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 1}, {1, 2}},
+		B: []float64{1, 1.5},
+	}
+	s := NewSolver()
+	_, basis, err := s.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x0 + 2 x1 = 3 with x0 + x1 = 1 forces x1 = 2, x0 = -1: infeasible.
+	p.B[1] = 3
+	if _, _, err := s.WarmSolve(basis, p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestIterationLimitError asserts the sentinel and the error text carrying
+// the iteration count, so warm-start debugging can tell a cycling solve
+// from an infeasible one.
+func TestIterationLimitError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := scheduleLikeProblem(rng, 50, 2.5, 3.5)
+	s := NewSolver()
+	s.maxIter = 1 // far below what a 50-variable two-phase solve needs
+	_, _, err := s.Solve(p)
+	if err == nil {
+		t.Fatal("expected iteration-limit error")
+	}
+	if !errors.Is(err, ErrIterationLimit) {
+		t.Fatalf("err = %v, want ErrIterationLimit", err)
+	}
+	if errors.Is(err, ErrInfeasible) {
+		t.Fatalf("iteration limit must be distinct from infeasibility: %v", err)
+	}
+	if want := "lp: iteration limit reached after 1 iterations"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error text %q does not contain %q", err.Error(), want)
+	}
+}
+
+// TestSolverRetainedStateIsolation: a solver's retained state must not leak
+// between unrelated problems — solving problem Q after P from P's basis
+// must still give Q's optimum.
+func TestSolverRetainedStateIsolation(t *testing.T) {
+	rngP := rand.New(rand.NewSource(21))
+	rngQ := rand.New(rand.NewSource(22))
+	p := scheduleLikeProblem(rngP, 30, 2.2, 3.1)
+	q := scheduleLikeProblem(rngQ, 30, 2.8, 3.9)
+
+	s := NewSolver()
+	_, basisP, err := s.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmQ, _, err := s.WarmSolve(basisP, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldQ, err := Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(warmQ.Objective, coldQ.Objective, 1e-6) {
+		t.Fatalf("cross-problem warm solve objective %g != cold %g", warmQ.Objective, coldQ.Objective)
+	}
+}
+
+// BenchmarkColdVsWarmSolve quantifies the warm-start speedup after a
+// single-coefficient objective perturbation on a schedule-sized program.
+func BenchmarkColdVsWarmSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	p := scheduleLikeProblem(rng, 80, 2.5, 3.5)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := NewSolver()
+		_, basis, err := s.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.C[i%80] *= 1.0001
+			var werr error
+			if _, basis, werr = s.WarmSolve(basis, p); werr != nil {
+				b.Fatal(werr)
+			}
+		}
+	})
+}

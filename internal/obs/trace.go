@@ -59,6 +59,14 @@ const (
 	// to a channel. Channel is the link index (-1 for all channels), Value
 	// the chaos fault kind.
 	EventFaultInjected
+	// EventScheduleResolved: the schedule cache resolved a share schedule
+	// for a channel state. Channel is -1 (schedules span channels), Value
+	// the solve tier (0 cached, 1 warm, 2 cold).
+	EventScheduleResolved
+	// EventResolveError: a schedule re-solve failed and the caller fell
+	// back to clamping share placement. Channel is -1, Value the number of
+	// usable channels the failed solve was attempted over.
+	EventResolveError
 )
 
 // String names the event kind for logs and dumps.
@@ -90,6 +98,10 @@ func (k EventKind) String() string {
 		return "channel-probe"
 	case EventFaultInjected:
 		return "fault-injected"
+	case EventScheduleResolved:
+		return "schedule-resolved"
+	case EventResolveError:
+		return "resolve-error"
 	}
 	return "unknown"
 }

@@ -153,6 +153,7 @@ type HealthTracker struct {
 	cfg   HealthConfig
 	clock func() time.Duration
 	trace *obs.Trace
+	reg   *obs.Registry
 
 	mu sync.Mutex
 	// chans holds per-channel EWMA/state/probe data. guarded by mu.
@@ -184,6 +185,7 @@ func NewHealthTracker(cfg HealthConfig, n int, clock func() time.Duration, reg *
 		cfg:   cfg,
 		clock: clock,
 		trace: trace,
+		reg:   reg,
 		chans: make([]channelHealth, n),
 		met:   make([]healthChannelMetrics, n),
 	}
@@ -420,13 +422,17 @@ type HealthChooser struct {
 
 	// Re-solve mode (nil set disables): the full channel set and LP
 	// objective, the sampler for the current usable subset, and the
-	// subset it was solved for.
-	set        core.Set
-	obj        schedule.Objective
-	sampler    *schedule.Sampler
-	solvedFor  uint32
-	subToFull  []int
-	resolveErr error
+	// subset it was solved for. cache memoizes re-solved schedules by
+	// quantized survivor state, so revisiting a usable set (flapping
+	// links, recovery) is a lookup instead of an LP solve.
+	set           core.Set
+	obj           schedule.Objective
+	sampler       *schedule.Sampler
+	solvedFor     uint32
+	subToFull     []int
+	resolveErr    error
+	cache         *schedule.Cache
+	resolveErrors *obs.Counter
 }
 
 // HealthOption configures a HealthChooser.
@@ -463,6 +469,18 @@ func NewHealthChooser(kappa, mu float64, tracker *HealthTracker, rng *rand.Rand,
 	}
 	if c.set != nil && c.set.N() != tracker.Channels() {
 		return nil, fmt.Errorf("remicss: resolve set has %d channels, tracker %d", c.set.N(), tracker.Channels())
+	}
+	if c.set != nil {
+		// Re-solve mode routes every solve through a schedule cache wired to
+		// the tracker's registry, trace, and clock: repeat usable sets hit
+		// the cache, fresh ones warm-start the retained simplex basis.
+		c.cache = schedule.NewCache(schedule.CacheConfig{
+			Options: schedule.Options{Limited: true},
+			Metrics: tracker.reg,
+			Trace:   tracker.trace,
+			Now:     tracker.clock,
+		})
+		c.resolveErrors = tracker.reg.Counter("remicss_chooser_resolve_errors_total")
 	}
 	return c, nil
 }
@@ -600,16 +618,28 @@ func (c *HealthChooser) resolveFor(usable uint32) {
 	s := float64(len(sub))
 	kappaEff := math.Min(c.kappa, s)
 	muEff := math.Max(kappaEff, math.Min(c.mu, s))
-	sched, err := schedule.Optimize(sub, kappaEff, muEff, c.obj, schedule.Options{Limited: true})
+	sched, _, err := c.cache.Optimize(sub, kappaEff, muEff, c.obj)
 	if err != nil {
 		c.resolveErr = fmt.Errorf("remicss: re-solving schedule for %d survivors: %w", len(sub), err)
+		c.noteResolveError(len(sub))
 		return
 	}
 	sampler, err := schedule.NewSampler(sched, len(sub), c.rng)
 	if err != nil {
 		c.resolveErr = fmt.Errorf("remicss: sampling re-solved schedule: %w", err)
+		c.noteResolveError(len(sub))
 		return
 	}
 	c.resolveErr = nil
 	c.sampler = sampler
+}
+
+// noteResolveError surfaces a re-solve failure on the observability plane:
+// the remicss_chooser_resolve_errors_total counter and a resolve-error
+// trace event carrying the survivor count that could not be solved.
+func (c *HealthChooser) noteResolveError(survivors int) {
+	if c.resolveErrors != nil {
+		c.resolveErrors.Inc()
+	}
+	c.tracker.trace.Record(obs.EventResolveError, -1, c.tracker.clock(), 0, int64(survivors))
 }

@@ -308,7 +308,11 @@ func TestHealthChooserResolveMode(t *testing.T) {
 		{Risk: 0.15, Loss: 0.03, Delay: 15 * time.Millisecond, Rate: 900},
 	}
 	clock := &fakeClock{}
-	tr := newTracker(t, HealthConfig{}, 4, clock)
+	reg := obs.NewRegistry()
+	tr, err := NewHealthTracker(HealthConfig{}, 4, clock.Now, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	const kappa, mu = 2, 3
 	ch, err := NewHealthChooser(kappa, mu, tr, rand.New(rand.NewSource(5)),
 		Resolve(set, schedule.ObjectiveRisk))
@@ -356,11 +360,89 @@ func TestHealthChooserResolveMode(t *testing.T) {
 	if _, _, ok := ch.Choose(links); ok {
 		t.Fatal("resolve mode scheduled below the threshold floor")
 	}
-	// Recovery: all channels restored, resolves back to the full set.
+	// Recovery: all channels restored. Advance past the probe backoff so
+	// the downed channels re-admit and the usable set returns to the full
+	// set the chooser first solved for.
+	clock.now = 10 * time.Second
 	for _, f := range fakes {
 		f.writable = true
 	}
 	check("restored")
+
+	// The solve path must route through the schedule cache: restoring the
+	// full usable set revisits the state solved at "full set", so the
+	// restored resolve is a cache hit, not a fresh LP solve.
+	if hits := counterOn(t, reg, "remicss_schedule_cache_hits_total"); hits == 0 {
+		t.Error("remicss_schedule_cache_hits_total never advanced; re-solve bypassed the cache")
+	}
+	if errs := counterOn(t, reg, "remicss_chooser_resolve_errors_total"); errs != 0 {
+		t.Errorf("remicss_chooser_resolve_errors_total = %d on an error-free run", errs)
+	}
+}
+
+// counterOn reads one registered counter series by name.
+func counterOn(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, s := range reg.Gather() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("series %s not registered", name)
+	return 0
+}
+
+// TestHealthChooserResolveErrorSurfaced: when the re-solve fails (here: the
+// set exceeds the exact-schedule channel cap), the chooser must fall back to
+// clamping AND surface the failure as remicss_chooser_resolve_errors_total
+// plus a resolve-error trace event carrying the survivor count.
+func TestHealthChooserResolveErrorSurfaced(t *testing.T) {
+	const n = 23 // above core.Set.Validate's channel cap: Optimize fails
+	set := make(core.Set, n)
+	for i := range set {
+		set[i] = core.Channel{Risk: 0.1, Loss: 0.01, Delay: 10 * time.Millisecond, Rate: 1000}
+	}
+	clock := &fakeClock{now: 7 * time.Millisecond}
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace(64)
+	tr, err := NewHealthTracker(HealthConfig{}, n, clock.Now, reg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewHealthChooser(2, 3, tr, rand.New(rand.NewSource(11)),
+		Resolve(set, schedule.ObjectiveRisk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]Link, n)
+	for i := range links {
+		links[i] = &healthLink{writable: true, accept: true}
+	}
+	k, mask, ok := ch.Choose(links)
+	if !ok || k < 2 || k > bits.OnesCount32(mask) {
+		t.Fatalf("clamping fallback failed: k=%d |M|=%d ok=%v", k, bits.OnesCount32(mask), ok)
+	}
+	if ch.ResolveErr() == nil {
+		t.Fatal("ResolveErr() nil after an unsolvable re-solve")
+	}
+	if errs := counterOn(t, reg, "remicss_chooser_resolve_errors_total"); errs != 1 {
+		t.Errorf("remicss_chooser_resolve_errors_total = %d, want 1", errs)
+	}
+	var found bool
+	for _, ev := range trace.Snapshot(nil) {
+		if ev.Kind == obs.EventResolveError {
+			found = true
+			if ev.Value != n {
+				t.Errorf("resolve-error event value = %d, want survivor count %d", ev.Value, n)
+			}
+			if ev.At != 7*time.Millisecond {
+				t.Errorf("resolve-error event at %v, want the tracker clock", ev.At)
+			}
+		}
+	}
+	if !found {
+		t.Error("no resolve-error trace event recorded")
+	}
 }
 
 func TestHealthChooserSetTargets(t *testing.T) {

@@ -1,0 +1,147 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"remicss/internal/core"
+	"remicss/internal/lp"
+)
+
+// OptimizeLarge solves the Section IV-B program for channel sets beyond the
+// exhaustive-enumeration cap (hundreds of channels), using sampled/pruned
+// wide-assignment generation. Because an optimal vertex of the three-row
+// program has at most three positive entries, the support of the solution
+// touches only a handful of channels; OptimizeLarge compacts the schedule
+// onto that support so it fits the bitmask Schedule representation.
+//
+// It returns the compacted schedule together with the ascending list of
+// original channel indices its masks refer to: bit i of a schedule mask
+// selects channel members[i] of s. The compacted support is guaranteed to
+// stay within mask range for practical µ; in the degenerate case where the
+// solution's support unions to more than 32 channels an error is returned.
+func OptimizeLarge(s core.Set, kappa, mu float64, obj Objective, opts Options) (core.Schedule, []int, error) {
+	prob, assignments, err := buildLarge(s, kappa, mu, obj, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, nil, wrapLPError(err)
+	}
+	return compactWideSolution(sol.X, assignments)
+}
+
+// Program materializes the LP behind Optimize — or behind OptimizeLarge
+// for sets beyond the exhaustive mask range — without solving it. It exists
+// so the solve layer can be exercised on real schedule programs:
+// cmd/remicss-bench's -schedule-json mode measures the cold two-phase
+// simplex against warm-started re-solves of the program returned here.
+func Program(s core.Set, kappa, mu float64, obj Objective, opts Options) (lp.Problem, error) {
+	if s.Validate() == nil {
+		prob, _, err := buildSectionIVB(s, kappa, mu, obj, opts)
+		return prob, err
+	}
+	// Beyond the mask cap (or with an invalid channel, which buildLarge
+	// rejects with the same error) the wide-assignment program applies.
+	prob, _, err := buildLarge(s, kappa, mu, obj, opts)
+	return prob, err
+}
+
+// buildLarge constructs the wide-assignment Section IV-B program: the same
+// three rows as buildSectionIVB, with the choice set generated rather than
+// enumerated and costs computed from member lists instead of masks. The
+// solve layer is the caller's choice.
+func buildLarge(s core.Set, kappa, mu float64, obj Objective, opts Options) (lp.Problem, []core.WideAssignment, error) {
+	if len(s) == 0 {
+		return lp.Problem{}, nil, fmt.Errorf("%w: empty channel set", core.ErrInvalidChannel)
+	}
+	for i, c := range s {
+		if err := c.Validate(); err != nil {
+			return lp.Problem{}, nil, fmt.Errorf("channel %d: %w", i, err)
+		}
+	}
+	if err := s.CheckParams(kappa, mu); err != nil {
+		return lp.Problem{}, nil, err
+	}
+
+	var cfg core.GenConfig
+	if opts.Generate != nil {
+		cfg = *opts.Generate
+	}
+	assignments := core.GenerateWideAssignments(s, kappa, mu, opts.Limited, cfg)
+	if len(assignments) == 0 {
+		return lp.Problem{}, nil, fmt.Errorf("%w: empty choice set", ErrInfeasible)
+	}
+
+	nv := len(assignments)
+	prob := lp.Problem{
+		C: make([]float64, nv),
+		A: [][]float64{make([]float64, nv), make([]float64, nv), make([]float64, nv)},
+		B: []float64{1, kappa, mu},
+	}
+	for j, a := range assignments {
+		switch obj {
+		case ObjectiveRisk:
+			prob.C[j] = s.MembersRisk(a.K, a.Members)
+		case ObjectiveLoss:
+			prob.C[j] = s.MembersLoss(a.K, a.Members)
+		case ObjectiveDelay:
+			prob.C[j] = s.MembersDelay(a.K, a.Members)
+		default:
+			panic(fmt.Sprintf("schedule: unknown objective %d", int(obj)))
+		}
+		prob.A[0][j] = 1
+		prob.A[1][j] = float64(a.K)
+		prob.A[2][j] = float64(a.M())
+	}
+	return prob, assignments, nil
+}
+
+// compactWideSolution maps the positive entries of a wide LP solution onto
+// the union of their member channels, renumbered 0..len(members)-1.
+func compactWideSolution(x []float64, assignments []core.WideAssignment) (core.Schedule, []int, error) {
+	inSupport := map[int]bool{}
+	var support []int // indices into assignments
+	for j, p := range x {
+		if p > probabilityFloor {
+			support = append(support, j)
+			for _, i := range assignments[j].Members {
+				inSupport[i] = true
+			}
+		}
+	}
+	if len(support) == 0 {
+		return nil, nil, fmt.Errorf("schedule: solver produced empty support")
+	}
+	members := make([]int, 0, len(inSupport))
+	for i := range inSupport {
+		members = append(members, i)
+	}
+	sort.Ints(members)
+	if len(members) > 32 {
+		return nil, nil, fmt.Errorf("schedule: solution support spans %d channels, beyond mask range", len(members))
+	}
+	local := make(map[int]int, len(members))
+	for li, i := range members {
+		local[i] = li
+	}
+
+	sched := make(core.Schedule)
+	var total float64
+	for _, j := range support {
+		var mask uint32
+		for _, i := range assignments[j].Members {
+			mask |= 1 << uint(local[i])
+		}
+		sched[core.Assignment{K: assignments[j].K, Mask: mask}] += x[j]
+		total += x[j]
+	}
+	for a := range sched {
+		sched[a] /= total
+	}
+	if err := sched.Validate(len(members)); err != nil {
+		return nil, nil, fmt.Errorf("schedule: solver produced invalid schedule: %w", err)
+	}
+	return sched, members, nil
+}

@@ -60,7 +60,18 @@ type Options struct {
 	// |M| >= ⌊μ⌋, so that a threat model with a fixed set of compromised
 	// channels sees at least ⌊κ⌋ shares required for every symbol.
 	Limited bool
+	// Generate forces sampled/pruned candidate generation (see
+	// core.GenerateAssignments) with the given configuration instead of
+	// exhaustive enumeration. When nil, enumeration is exhaustive up to
+	// exactEnumerationLimit channels and generated beyond it.
+	Generate *core.GenConfig
 }
+
+// exactEnumerationLimit is the largest channel count for which the choice
+// set is enumerated exhaustively. Beyond it the exponential enumeration is
+// replaced by sampled/pruned generation with default GenConfig (the
+// schedules become approximate; see DESIGN §11 for the error bound).
+const exactEnumerationLimit = 12
 
 // ErrInfeasible means no share schedule satisfies the requested parameters.
 var ErrInfeasible = errors.New("schedule: no feasible share schedule")
@@ -94,17 +105,34 @@ func Sensitivity(s core.Set, kappa, mu float64, obj Objective, opts Options) (dK
 	return sol.Duals[1], sol.Duals[2], nil
 }
 
-// solveSectionIVB builds and solves the Section IV-B program.
+// solveSectionIVB builds and solves the Section IV-B program with a
+// one-shot solver.
 func solveSectionIVB(s core.Set, kappa, mu float64, obj Objective, opts Options) (lp.Solution, []core.Assignment, error) {
-	if err := s.Validate(); err != nil {
+	prob, assignments, err := buildSectionIVB(s, kappa, mu, obj, opts)
+	if err != nil {
 		return lp.Solution{}, nil, err
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return lp.Solution{}, nil, wrapLPError(err)
+	}
+	return sol, assignments, nil
+}
+
+// buildSectionIVB constructs the Section IV-B program: minimize the
+// objective over the choice set subject to Σp = 1, Σp·k = κ, Σp·|M| = μ.
+// The solve layer (one-shot, warm-started, or cached) is the caller's
+// choice.
+func buildSectionIVB(s core.Set, kappa, mu float64, obj Objective, opts Options) (lp.Problem, []core.Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return lp.Problem{}, nil, err
 	}
 	if err := s.CheckParams(kappa, mu); err != nil {
-		return lp.Solution{}, nil, err
+		return lp.Problem{}, nil, err
 	}
-	assignments := enumerate(s.N(), kappa, mu, opts)
+	assignments := enumerate(s, kappa, mu, opts)
 	if len(assignments) == 0 {
-		return lp.Solution{}, nil, fmt.Errorf("%w: empty choice set", ErrInfeasible)
+		return lp.Problem{}, nil, fmt.Errorf("%w: empty choice set", ErrInfeasible)
 	}
 
 	nv := len(assignments)
@@ -131,15 +159,15 @@ func solveSectionIVB(s core.Set, kappa, mu float64, obj Objective, opts Options)
 		ms[j] = float64(a.M())
 	}
 	prob.A, prob.B = append(prob.A, ms), append(prob.B, mu)
+	return prob, assignments, nil
+}
 
-	sol, err := lp.Solve(prob)
-	if err != nil {
-		if errors.Is(err, lp.ErrInfeasible) {
-			return lp.Solution{}, nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
-		}
-		return lp.Solution{}, nil, fmt.Errorf("schedule: %w", err)
+// wrapLPError maps solver errors onto the package's error vocabulary.
+func wrapLPError(err error) error {
+	if errors.Is(err, lp.ErrInfeasible) {
+		return fmt.Errorf("%w: %v", ErrInfeasible, err)
 	}
-	return sol, assignments, nil
+	return fmt.Errorf("schedule: %w", err)
 }
 
 // OptimizeAtMaxRate solves the Section IV-D linear program: minimize the
@@ -149,19 +177,29 @@ func solveSectionIVB(s core.Set, kappa, mu float64, obj Objective, opts Options)
 // implied by the utilization constraints (their sum is μ by Theorem 3), as
 // in the paper's program.
 func OptimizeAtMaxRate(s core.Set, kappa, mu float64, obj Objective, opts Options) (core.Schedule, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	if err := s.CheckParams(kappa, mu); err != nil {
-		return nil, err
-	}
-	targets, err := s.UtilizationTargets(mu)
+	prob, assignments, err := buildMaxRate(s, kappa, mu, obj, opts)
 	if err != nil {
 		return nil, err
 	}
-	assignments := enumerate(s.N(), kappa, mu, opts)
+	return solveToSchedule(prob, assignments, s.N())
+}
+
+// buildMaxRate constructs the Section IV-D program (the Section IV-B
+// objective and normalization plus per-channel utilization constraints).
+func buildMaxRate(s core.Set, kappa, mu float64, obj Objective, opts Options) (lp.Problem, []core.Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return lp.Problem{}, nil, err
+	}
+	if err := s.CheckParams(kappa, mu); err != nil {
+		return lp.Problem{}, nil, err
+	}
+	targets, err := s.UtilizationTargets(mu)
+	if err != nil {
+		return lp.Problem{}, nil, err
+	}
+	assignments := enumerate(s, kappa, mu, opts)
 	if len(assignments) == 0 {
-		return nil, fmt.Errorf("%w: empty choice set", ErrInfeasible)
+		return lp.Problem{}, nil, fmt.Errorf("%w: empty choice set", ErrInfeasible)
 	}
 
 	nv := len(assignments)
@@ -190,11 +228,21 @@ func OptimizeAtMaxRate(s core.Set, kappa, mu float64, obj Objective, opts Option
 		}
 		prob.A, prob.B = append(prob.A, row), append(prob.B, targets[i])
 	}
-
-	return solveToSchedule(prob, assignments, s.N())
+	return prob, assignments, nil
 }
 
-func enumerate(n int, kappa, mu float64, opts Options) []core.Assignment {
+// enumerate produces the choice set: exhaustively for small sets, by
+// sampled/pruned generation for large ones or when Options.Generate forces
+// it.
+func enumerate(s core.Set, kappa, mu float64, opts Options) []core.Assignment {
+	n := s.N()
+	if opts.Generate != nil || n > exactEnumerationLimit {
+		var cfg core.GenConfig
+		if opts.Generate != nil {
+			cfg = *opts.Generate
+		}
+		return core.GenerateAssignments(s, kappa, mu, opts.Limited, cfg)
+	}
 	if opts.Limited {
 		return core.EnumerateLimitedAssignments(n, kappa, mu)
 	}
@@ -221,10 +269,7 @@ func objectiveCoefficients(s core.Set, assignments []core.Assignment, obj Object
 func solveToSchedule(prob lp.Problem, assignments []core.Assignment, n int) (core.Schedule, error) {
 	sol, err := lp.Solve(prob)
 	if err != nil {
-		if errors.Is(err, lp.ErrInfeasible) {
-			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
-		}
-		return nil, fmt.Errorf("schedule: %w", err)
+		return nil, wrapLPError(err)
 	}
 	return solutionToSchedule(sol, assignments, n)
 }

@@ -46,6 +46,13 @@ func buildRepresentativeRegistry(t *testing.T) *remicss.MetricsRegistry {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A resolve-mode chooser registers the schedule-cache and warm-solve
+	// series plus the chooser's resolve-error counter.
+	resolveSet := remicss.ChannelSet{{Risk: 0.2, Loss: 0.01, Delay: time.Millisecond, Rate: 1000}}
+	if _, err := remicss.NewHealthChooser(1, 1, tracker, rand.New(rand.NewSource(2)),
+		remicss.ResolveSchedule(resolveSet, remicss.ObjectiveRisk)); err != nil {
+		t.Fatal(err)
+	}
 	chooser, err := remicss.NewDynamicChooser(1, 1, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +78,7 @@ func buildRepresentativeRegistry(t *testing.T) *remicss.MetricsRegistry {
 
 // seriesNameRe matches concrete series names in README prose/tables;
 // wildcard mentions like `remicss_sender_*` deliberately do not match.
-var seriesNameRe = regexp.MustCompile("`((?:remicss|udp|netem)_[a-z0-9_]+)(?:\\{[a-z]+\\})?`")
+var seriesNameRe = regexp.MustCompile("`((?:remicss|udp|netem|lp)_[a-z0-9_]+)(?:\\{[a-z]+\\})?`")
 
 // TestReadmeMetricTableMatchesRegistry diffs the README metric reference
 // against a live registry covering every instrumented component, in both

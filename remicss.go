@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"remicss/internal/core"
+	"remicss/internal/lp"
 	"remicss/internal/remicss"
 	"remicss/internal/risk"
 	"remicss/internal/schedule"
@@ -72,6 +73,9 @@ var (
 	ErrInvalidParams   = core.ErrInvalidParams
 	ErrInvalidSchedule = core.ErrInvalidSchedule
 	ErrInfeasible      = schedule.ErrInfeasible
+	// ErrIterationLimit marks an LP solve abandoned at the simplex
+	// iteration cap; the wrapped error text carries the cap.
+	ErrIterationLimit = lp.ErrIterationLimit
 )
 
 // Objective selects which property a schedule optimization minimizes.
@@ -106,6 +110,51 @@ func OptimizeScheduleAtMaxRate(set ChannelSet, kappa, mu float64, obj Objective,
 // EnumerateAssignments lists every valid (k, M) for an n-channel set.
 func EnumerateAssignments(n int) []Assignment {
 	return core.EnumerateAssignments(n)
+}
+
+// ScheduleGenConfig tunes sampled/pruned candidate generation for large
+// channel sets: the zero value selects documented defaults. Set it on
+// ScheduleOptions.Generate to force generation below the exact-enumeration
+// cap, or pass it through OptimizeScheduleLarge.
+type ScheduleGenConfig = core.GenConfig
+
+// OptimizeScheduleLarge solves the Section IV-B program for channel sets
+// far beyond the exact-enumeration cap (hundreds of channels). Candidates
+// come from greedy, sampled, and dominance-pruned subset generation, so the
+// optimum is approximate — within the bound documented in DESIGN §11 of the
+// exhaustive optimum where both are computable. The returned schedule is
+// compacted onto the channels its support uses; members maps its local
+// indices back to ascending indices into set.
+func OptimizeScheduleLarge(set ChannelSet, kappa, mu float64, obj Objective, opts ScheduleOptions) (sched Schedule, members []int, err error) {
+	return schedule.OptimizeLarge(set, kappa, mu, obj, opts)
+}
+
+// ScheduleCache memoizes optimized share schedules keyed by quantized
+// channel state, backed by a warm-started incremental simplex solver — the
+// cached/warm/cold solve path used by LP re-solving failover
+// (ResolveSchedule) and adaptive retuning. Safe for concurrent use; the hit
+// path is lock- and allocation-free.
+type ScheduleCache = schedule.Cache
+
+// ScheduleCacheConfig tunes a ScheduleCache: the quantization grid, the
+// entry bound, the solve Options, and the observability sinks.
+type ScheduleCacheConfig = schedule.CacheConfig
+
+// SolveTier reports how a ScheduleCache resolved one request, cheapest
+// first: cached lookup, warm-started re-solve, cold solve. Carried by the
+// schedule-resolved trace event.
+type SolveTier = schedule.SolveTier
+
+// The schedule solve tiers.
+const (
+	SolveTierCached = schedule.TierCached
+	SolveTierWarm   = schedule.TierWarm
+	SolveTierCold   = schedule.TierCold
+)
+
+// NewScheduleCache builds a schedule cache.
+func NewScheduleCache(cfg ScheduleCacheConfig) *ScheduleCache {
+	return schedule.NewCache(cfg)
 }
 
 // ScheduleSensitivity reports the shadow prices of the κ and μ constraints
@@ -212,7 +261,12 @@ func NewHealthChooser(kappa, mu float64, tracker *HealthTracker, rng *rand.Rand,
 // LP re-solving: on every usable-set change the Section IV-B program is
 // re-solved over the surviving channels (with the Section IV-E limited
 // constraint keeping thresholds at or above ⌊κ⌋) and shares are placed by
-// sampling the new optimum.
+// sampling the new optimum. Re-solves route through a ScheduleCache wired
+// to the tracker's registry, trace, and clock, so revisited usable sets
+// (flapping links, recovery) hit the cache and fresh ones warm-start the
+// retained simplex basis; failures surface as
+// remicss_chooser_resolve_errors_total and a resolve-error trace event
+// while the chooser falls back to clamping.
 func ResolveSchedule(set ChannelSet, obj Objective) HealthOption {
 	return remicss.Resolve(set, obj)
 }
