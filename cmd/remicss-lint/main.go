@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/remicss-lint [-C dir] [-json] [packages ...]
+//	go run ./cmd/remicss-lint [-C dir] [-json] [-sarif] [packages ...]
 //
 // Packages default to ./... resolved in -C dir (default "."). Diagnostics
-// print one per line as file:line:col: [analyzer] message, or as a JSON
-// array with -json. Exit status is 0 when the tree is clean, 1 when any
-// diagnostic is reported, and 2 on loader or usage errors — which makes the
-// command usable directly as a required CI step.
+// print one per line as file:line:col: [analyzer] message, as a JSON array
+// with -json, or as a SARIF 2.1.0 log with -sarif (for code-scanning
+// uploads; -sarif wins when both are given). Exit status is 0 when the tree
+// is clean, 1 when any diagnostic is reported, and 2 on loader or usage
+// errors — which makes the command usable directly as a required CI step.
 package main
 
 import (
@@ -32,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("remicss-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log instead of text")
 	dir := fs.String("C", ".", "resolve package patterns relative to this directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,9 +53,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	diags := lint.Run(pkgs, lint.DefaultAnalyzers(mod))
+	analyzers := lint.DefaultAnalyzers(mod)
+	diags := lint.Run(pkgs, analyzers)
 
-	if *jsonOut {
+	if *sarifOut {
+		if err := lint.WriteSARIF(stdout, analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else if *jsonOut {
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}

@@ -117,6 +117,67 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// TestRunSARIF asserts -sarif output is a SARIF 2.1.0 log whose results
+// reference rules declared in the driver catalog.
+func TestRunSARIF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-list-backed lint run in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", writeDirtyModule(t), "-sarif", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("decoding -sarif output: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if len(run.Results) == 0 {
+		t.Fatal("no results in SARIF output for dirty module")
+	}
+	for _, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Errorf("result %q has ruleIndex %d outside the rule catalog", r.RuleID, r.RuleIndex)
+			continue
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("ruleIndex %d resolves to %q, want %q", r.RuleIndex, got, r.RuleID)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %q missing a located region", r.RuleID)
+		}
+	}
+}
+
 // TestRunBadFlag asserts usage errors exit 2.
 func TestRunBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -34,7 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("with 2 shares the secret returns: %v (first bytes %v)\n\n",
-		string(two[:0])+"ok", two[:4])
+		string(two[:0])+"ok", two[:4]) //lint:allow taint demo deliberately prints reconstructed bytes to show that k shares suffice
 
 	// (b) The privacy measure Z(p): an adversary with risk z_i per channel.
 	set := remicss.ChannelSet{

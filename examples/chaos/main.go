@@ -37,8 +37,8 @@ func main() {
 
 	eng := netem.NewEngine()
 	trace := remicss.NewEventTrace(1 << 16)
-	rng := rand.New(rand.NewSource(scenario.Seed)) //lint:allow insecure-rand example deliberately uses a seeded rng so its output is reproducible
-	scheme := remicss.NewSharingScheme(rng)
+	rng := rand.New(rand.NewSource(scenario.Seed))
+	scheme := remicss.NewSharingScheme(rng) //lint:allow insecure-rand example deliberately uses a seeded rng so its output is reproducible
 
 	// Receiver behind three emulated 2000 symbol/s channels.
 	var delivered int
@@ -54,7 +54,7 @@ func main() {
 	emLinks := make([]*netem.Link, 3)
 	for i := range links {
 		link, err := netem.NewLink(eng, netem.LinkConfig{Rate: 2000},
-			rand.New(rand.NewSource(scenario.Seed+int64(i)+1)), //lint:allow insecure-rand example deliberately uses a seeded rng so its output is reproducible
+			rand.New(rand.NewSource(scenario.Seed+int64(i)+1)),
 			func(p []byte, _ time.Duration) { recv.HandleDatagram(p) })
 		if err != nil {
 			log.Fatal(err)
@@ -69,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	chooser, err := remicss.NewHealthChooser(2, 3, tracker, rand.New(rand.NewSource(scenario.Seed+100))) //lint:allow insecure-rand example deliberately uses a seeded rng so its output is reproducible
+	chooser, err := remicss.NewHealthChooser(2, 3, tracker, rand.New(rand.NewSource(scenario.Seed+100)))
 	if err != nil {
 		log.Fatal(err)
 	}

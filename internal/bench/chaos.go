@@ -3,7 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
-	"math/rand" //lint:allow insecure-rand chaos runs must replay exactly from the scenario seed
+	"math/rand"
 	"time"
 
 	"remicss/internal/chaos"

@@ -55,9 +55,9 @@ var (
 // constant term per secret byte.
 type Share struct {
 	// Coeffs is the hyperplane's normal vector a_i (length k).
-	Coeffs []byte
+	Coeffs []byte //remicss:secret
 	// Values holds b_i = a_i · P_j for each secret byte j.
-	Values []byte
+	Values []byte //remicss:secret
 }
 
 // Bytes serializes the share as coeffs || values (the coefficient length k
@@ -94,6 +94,8 @@ func NewSplitter(r io.Reader) *Splitter {
 }
 
 // Split shares the secret into m hyperplane shares with threshold k.
+//
+//remicss:secret secret
 func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
 	if k < 1 || m < k || m > MaxShares {
 		return nil, fmt.Errorf("%w: k=%d, m=%d", ErrInvalidParams, k, m)
@@ -312,6 +314,8 @@ func invert(m [][]byte) ([][]byte, error) {
 }
 
 // Split is a convenience wrapper using crypto/rand.
+//
+//remicss:secret secret
 func Split(secret []byte, k, m int) ([]Share, error) {
 	return NewSplitter(nil).Split(secret, k, m)
 }

@@ -20,5 +20,8 @@ func DefaultAnalyzers(modulePath string) []*Analyzer {
 		MutexGuardAnalyzer(),
 		NoRetainAnalyzer(),
 		ReadOnlyInputAnalyzer(),
+		TaintAnalyzer(),
+		LockOrderAnalyzer(),
+		AtomicMixAnalyzer(),
 	}
 }

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMixAnalyzer returns the module-wide atomic/plain access mixing
+// analyzer: a variable or field whose address is passed to a sync/atomic
+// operation anywhere in the module may never be read or written plainly
+// anywhere else. Mixing the two access disciplines is the racy pattern the
+// schedule cache's lock-free read path must never reintroduce; the typed
+// atomics (atomic.Uint64, atomic.Pointer) the module prefers make the
+// mistake impossible, so this analyzer exists to police the places where
+// old-style atomic calls on plain fields creep back in.
+//
+// Initialization before publication is the one legitimate mixed pattern;
+// such sites carry a //lint:allow atomicmix directive with the publication
+// argument spelled out.
+func AtomicMixAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "atomicmix",
+		Doc:       "a field accessed with sync/atomic anywhere must be accessed atomically everywhere",
+		RunModule: runAtomicMix,
+	}
+}
+
+type atomicUse struct {
+	pkg *Package
+	pos token.Pos
+}
+
+func runAtomicMix(mp *ModulePass) {
+	// Pass 1: every object whose address feeds a sync/atomic call, plus the
+	// positions of those sanctioned uses.
+	atomicObjs := make(map[types.Object]atomicUse) // object → first atomic site (witness)
+	sanctioned := make(map[token.Pos]bool)         // identifier positions inside atomic call args
+	for _, pkg := range mp.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCallee(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if funcSig(fn).Recv() != nil {
+					// Methods on typed atomics (atomic.Uint64 etc.) carry
+					// the discipline in the type; nothing to police.
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					obj, id := addressedObject(pkg, un.X)
+					if obj == nil {
+						continue
+					}
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = atomicUse{pkg: pkg, pos: id.Pos()}
+					}
+					sanctioned[id.Pos()] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: any other appearance of those objects is a plain access.
+	type finding struct {
+		pkg *Package
+		pos token.Pos
+		obj types.Object
+	}
+	var findings []finding
+	for _, pkg := range mp.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var id *ast.Ident
+				var obj types.Object
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+						obj, id = sel.Obj(), n.Sel
+					}
+				case *ast.Ident:
+					if v, ok := pkg.Info.Uses[n].(*types.Var); ok && !v.IsField() {
+						obj, id = v, n
+					}
+				}
+				if obj == nil {
+					return true
+				}
+				if _, tracked := atomicObjs[obj]; !tracked || sanctioned[id.Pos()] {
+					return true
+				}
+				findings = append(findings, finding{pkg: pkg, pos: id.Pos(), obj: obj})
+				return true
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		use := atomicObjs[f.obj]
+		at := use.pkg.Fset.Position(use.pos)
+		mp.Reportf(f.pkg.Fset, f.pos,
+			"%s is accessed with sync/atomic at %s:%d but plainly here; every access must use the atomic API",
+			f.obj.Name(), shortPath(at.Filename), at.Line)
+	}
+}
+
+// addressedObject resolves &expr to the field or variable object whose
+// storage the atomic call operates on, along with the identifier naming it.
+// Index expressions resolve to the container variable: atomics on one
+// element of a field's array bind the whole field to the discipline.
+func addressedObject(pkg *Package, e ast.Expr) (types.Object, *ast.Ident) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return sel.Obj(), x.Sel
+			}
+			if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok {
+				return v, x.Sel
+			}
+			return nil, nil
+		case *ast.Ident:
+			if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+				return v, x
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// shortPath trims a filename to its last two path elements for diagnostics.
+func shortPath(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

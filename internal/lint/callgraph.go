@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// moduleIndex is the shared call-graph substrate for the interprocedural
+// analyzers (taint, lockorder). It maps every function and method declared
+// anywhere in the analyzed package set to its syntax, so an analyzer
+// resolving a static call in one package can walk into the callee's body in
+// another and compute a summary there.
+type moduleIndex struct {
+	pkgs  []*Package
+	funcs map[*types.Func]*declInfo
+	// order lists the indexed functions in deterministic (package, file,
+	// position) order so fixed-point iteration and reporting are stable.
+	order []*types.Func
+}
+
+// declInfo ties a declared function to the package whose type info describes
+// its body.
+type declInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// indexModule builds the function index over every loaded package.
+func indexModule(pkgs []*Package) *moduleIndex {
+	idx := &moduleIndex{pkgs: pkgs, funcs: make(map[*types.Func]*declInfo)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				idx.funcs[fn] = &declInfo{pkg: pkg, decl: fd}
+				idx.order = append(idx.order, fn)
+			}
+		}
+	}
+	return idx
+}
+
+// staticCallee resolves call to the *types.Func it will invoke when that is
+// statically known: package-level functions, methods on concrete receivers,
+// and method expressions. Interface method calls and calls through function
+// values return nil — those are dynamic dispatch and each analyzer decides
+// how conservative to be about them.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// Method value or method expression: dynamic iff the method is
+			// resolved on an interface.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified function (pkg.F) or a method expression spelled
+		// through a named type in another package.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// callKind classifies a call expression for analyzers that must treat
+// conversions, builtins, static calls, and dynamic dispatch differently.
+type callKind int
+
+const (
+	callConversion callKind = iota // T(x)
+	callBuiltin                    // append, copy, len, ...
+	callStatic                     // statically resolved function or method
+	callDynamic                    // interface method or function value
+)
+
+// classifyCall reports what kind of call this is, plus the resolved callee
+// for callStatic and the builtin object for callBuiltin.
+func classifyCall(info *types.Info, call *ast.CallExpr) (callKind, *types.Func, *types.Builtin) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		switch obj := info.Uses[id].(type) {
+		case *types.Builtin:
+			return callBuiltin, nil, obj
+		case *types.TypeName:
+			return callConversion, nil, nil
+		}
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if _, ok := info.Uses[sel.Sel].(*types.TypeName); ok {
+			return callConversion, nil, nil
+		}
+	}
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return callConversion, nil, nil
+	}
+	if fn := staticCallee(info, call); fn != nil {
+		return callStatic, fn, nil
+	}
+	return callDynamic, nil, nil
+}
+
+// receiverArg returns the receiver expression of a method call (the x in
+// x.M(...)), or nil for plain function calls and method expressions.
+func receiverArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return sel.X
+	}
+	return nil
+}
+
+// flatParams flattens a function's receiver (if any) and parameters into one
+// slice: index 0 is the receiver for methods, parameters follow. This is the
+// indexing scheme every interprocedural summary uses.
+func flatParams(fn *types.Func) []*types.Var {
+	sig := funcSig(fn)
+	var out []*types.Var
+	if recv := sig.Recv(); recv != nil {
+		out = append(out, recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// argsForParam returns every caller-side argument expression feeding the
+// flattened callee parameter index i, accounting for variadic fan-in (several
+// call arguments can feed the one variadic parameter).
+func argsForParam(info *types.Info, fn *types.Func, call *ast.CallExpr, i int) []ast.Expr {
+	sig := funcSig(fn)
+	hasRecv := sig.Recv() != nil
+	if hasRecv {
+		if i == 0 {
+			if recv := receiverArg(info, call); recv != nil {
+				return []ast.Expr{recv}
+			}
+			return nil
+		}
+		i--
+	}
+	n := sig.Params().Len()
+	if i >= n {
+		return nil
+	}
+	if sig.Variadic() && i == n-1 {
+		if len(call.Args) > i {
+			return call.Args[i:]
+		}
+		return nil
+	}
+	if i < len(call.Args) {
+		return []ast.Expr{call.Args[i]}
+	}
+	return nil
+}
+
+// funcSig returns fn's signature. (*types.Func).Signature() itself needs a
+// newer go/types than this module targets.
+func funcSig(fn *types.Func) *types.Signature {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}

@@ -52,8 +52,34 @@ func runFixture(t *testing.T, name string, analyzers []*lint.Analyzer) {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
 	diags := lint.Run([]*lint.Package{pkg}, analyzers)
-	wants := collectWants(t, pkg)
+	matchWants(t, diags, collectWants(t, pkg))
+}
 
+// runTreeFixture loads a fixture directory tree as a multi-package unit —
+// subdirectories become subpackages importable from the root — and checks
+// diagnostics against want comments gathered across every package. The
+// module analyzers see all packages at once, so cross-package propagation is
+// exercised for real.
+func runTreeFixture(t *testing.T, name string, analyzers []*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.LoadTree(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture tree %s: %v", name, err)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	wants := make(map[string][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for key, res := range collectWants(t, pkg) {
+			wants[key] = append(wants[key], res...)
+		}
+	}
+	matchWants(t, diags, wants)
+}
+
+// matchWants reconciles diagnostics with want expectations in both
+// directions, consuming wants as they match.
+func matchWants(t *testing.T, diags []lint.Diagnostic, wants map[string][]*regexp.Regexp) {
+	t.Helper()
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.File, d.Line)
 		matched := -1
@@ -96,6 +122,22 @@ func TestNoRetainFixture(t *testing.T) {
 
 func TestReadOnlyInputFixture(t *testing.T) {
 	runFixture(t, "readonlyinput", []*lint.Analyzer{lint.ReadOnlyInputAnalyzer()})
+}
+
+// TestTaintFixture is the acceptance fixture for the secret-taint pass: the
+// annotated source lives in taint/vault, the leaks in the parent package, so
+// every finding proves cross-package summary propagation — including the
+// seeded trace-event leak that crosses two call hops.
+func TestTaintFixture(t *testing.T) {
+	runTreeFixture(t, "taint", []*lint.Analyzer{lint.TaintAnalyzer()})
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runTreeFixture(t, "lockorder", []*lint.Analyzer{lint.LockOrderAnalyzer()})
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	runTreeFixture(t, "atomicmix", []*lint.Analyzer{lint.AtomicMixAnalyzer()})
 }
 
 // TestDirectiveValidation checks that malformed //lint:allow directives are

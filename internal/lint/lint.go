@@ -42,8 +42,11 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check that runs over a type-checked
-// package.
+// Analyzer is one named invariant check. Per-package analyzers set Run and
+// see one package at a time; whole-module analyzers (taint, lockorder,
+// atomicmix) set RunModule and see every loaded package at once, which is
+// what lets them follow flows and lock acquisitions across package
+// boundaries. An analyzer sets exactly one of the two.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in //lint:allow
 	// directives.
@@ -52,6 +55,9 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package behind the pass and reports violations.
 	Run func(*Pass)
+	// RunModule inspects every loaded package together and reports
+	// violations; it is invoked once per Run call, not once per package.
+	RunModule func(*ModulePass)
 }
 
 // Pass is one analyzer's view of one package: the syntax trees, the type
@@ -90,6 +96,30 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// ModulePass is a module-wide analyzer's view of the whole load: every
+// package, plus a sink for diagnostics.
+type ModulePass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkgs are all loaded packages, in load order.
+	Pkgs []*Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos, resolved through the package that
+// owns the position.
+func (p *ModulePass) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	position := fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one reported invariant violation, positioned at file:line.
 type Diagnostic struct {
 	// Analyzer names the check that produced the diagnostic.
@@ -112,34 +142,56 @@ func (d Diagnostic) String() string {
 // Run executes every analyzer over every package and returns the surviving
 // diagnostics (those not suppressed by a //lint:allow directive), sorted by
 // position. Malformed directives — unknown analyzer name or missing reason —
-// are themselves reported.
+// are themselves reported, and so are stale directives: a well-formed
+// //lint:allow that suppresses no diagnostic of the analyzers actually run
+// is dead weight hiding nothing, and is reported as [stale-allow] so sweeps
+// remove it.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var out []Diagnostic
+
+	// Suppressions are collected across the whole load before any analyzer
+	// runs: module-wide analyzers may report a diagnostic in package A from
+	// facts discovered in package B, and the directive lives next to the
+	// reported line regardless of which package produced the finding.
+	sup := &suppressions{lines: make(map[string]map[string]map[int]*directive)}
 	for _, pkg := range pkgs {
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
+		collectSuppressions(sup, pkg, known)
+	}
+
+	var raw []Diagnostic
+	report := func(d Diagnostic) { raw = append(raw, d) }
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				report:   func(d Diagnostic) { raw = append(raw, d) },
-			}
-			a.Run(pass)
-		}
-		sup := collectSuppressions(pkg, known)
-		out = append(out, sup.invalid...)
-		for _, d := range raw {
-			if !sup.allows(d) {
-				out = append(out, d)
-			}
+				report:   report,
+			})
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{Analyzer: a, Pkgs: pkgs, report: report})
+	}
+
+	out := append([]Diagnostic(nil), sup.invalid...)
+	for _, d := range raw {
+		if !sup.allows(d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, sup.stale()...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -178,41 +230,89 @@ func parseAllow(text string) (analyzer, reason string, ok bool) {
 	return analyzer, reason, true
 }
 
+// directive is one well-formed //lint:allow annotation, tracked so unused
+// (stale) directives can themselves be reported.
+type directive struct {
+	analyzer string
+	file     string
+	line     int // the directive's own position
+	column   int
+	used     bool
+}
+
 // suppressions indexes //lint:allow directives: exact suppressed lines per
 // analyzer and file, plus diagnostics for malformed directives.
 type suppressions struct {
-	// lines[analyzer][file] is the set of suppressed line numbers.
-	lines   map[string]map[string]map[int]bool
+	// lines[analyzer][file][line] points at the directive covering that
+	// line; several lines (a whole function body) may share one directive.
+	lines   map[string]map[string]map[int]*directive
+	all     []*directive
 	invalid []Diagnostic
 }
 
-func (s *suppressions) add(analyzer, file string, from, to int) {
-	byFile := s.lines[analyzer]
+func (s *suppressions) add(d *directive, from, to int) {
+	s.all = append(s.all, d)
+	byFile := s.lines[d.analyzer]
 	if byFile == nil {
-		byFile = make(map[string]map[int]bool)
-		s.lines[analyzer] = byFile
+		byFile = make(map[string]map[int]*directive)
+		s.lines[d.analyzer] = byFile
 	}
-	set := byFile[file]
+	set := byFile[d.file]
 	if set == nil {
-		set = make(map[int]bool)
-		byFile[file] = set
+		set = make(map[int]*directive)
+		byFile[d.file] = set
 	}
 	for l := from; l <= to; l++ {
-		set[l] = true
+		if set[l] == nil {
+			set[l] = d
+		}
 	}
 }
 
 func (s *suppressions) allows(d Diagnostic) bool {
-	return s.lines[d.Analyzer][d.File][d.Line]
+	dir := s.lines[d.Analyzer][d.File][d.Line]
+	if dir == nil {
+		return false
+	}
+	dir.used = true
+	return true
 }
 
-// collectSuppressions gathers every allow directive in the package. A
-// directive in a function's doc comment suppresses the analyzer across the
+// The framework itself emits diagnostics under two reserved analyzer names:
+// directive for malformed //lint:allow comments and stale-allow for
+// directives that suppressed nothing.
+const (
+	directiveAnalyzerName  = "directive"
+	staleAllowAnalyzerName = "stale-allow"
+)
+
+// stale returns one diagnostic per directive that suppressed nothing during
+// this run. Since validateAllow already rejected directives naming analyzers
+// outside the run set, every directive here had its analyzer executed.
+func (s *suppressions) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.all {
+		if dir.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: staleAllowAnalyzerName,
+			File:     dir.file,
+			Line:     dir.line,
+			Column:   dir.column,
+			Message: fmt.Sprintf("lint:allow %s directive suppresses no diagnostic; the invariant holds here, remove the directive",
+				dir.analyzer),
+		})
+	}
+	return out
+}
+
+// collectSuppressions gathers every allow directive in the package into sup.
+// A directive in a function's doc comment suppresses the analyzer across the
 // whole function body; any other directive suppresses its own line and the
 // line below (so it works both as a trailing comment and as a comment above
 // the offending statement).
-func collectSuppressions(pkg *Package, known map[string]bool) *suppressions {
-	sup := &suppressions{lines: make(map[string]map[string]map[int]bool)}
+func collectSuppressions(sup *suppressions, pkg *Package, known map[string]bool) {
 	consumed := make(map[*ast.Comment]bool)
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
@@ -230,9 +330,10 @@ func collectSuppressions(pkg *Package, known map[string]bool) *suppressions {
 					sup.invalid = append(sup.invalid, *bad)
 					continue
 				}
+				pos := pkg.Fset.Position(c.Pos())
 				start := pkg.Fset.Position(fd.Pos()).Line
 				end := pkg.Fset.Position(fd.End()).Line
-				sup.add(analyzer, pkg.Fset.Position(c.Pos()).Filename, start, end)
+				sup.add(&directive{analyzer: analyzer, file: pos.Filename, line: pos.Line, column: pos.Column}, start, end)
 			}
 		}
 		for _, group := range file.Comments {
@@ -249,11 +350,10 @@ func collectSuppressions(pkg *Package, known map[string]bool) *suppressions {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				sup.add(analyzer, pos.Filename, pos.Line, pos.Line+1)
+				sup.add(&directive{analyzer: analyzer, file: pos.Filename, line: pos.Line, column: pos.Column}, pos.Line, pos.Line+1)
 			}
 		}
 	}
-	return sup
 }
 
 // validateAllow checks a parsed directive and returns a diagnostic when it
@@ -262,7 +362,7 @@ func validateAllow(pkg *Package, c *ast.Comment, analyzer, reason string, known 
 	pos := pkg.Fset.Position(c.Pos())
 	bad := func(msg string) *Diagnostic {
 		return &Diagnostic{
-			Analyzer: "directive",
+			Analyzer: directiveAnalyzerName,
 			File:     pos.Filename,
 			Line:     pos.Line,
 			Column:   pos.Column,

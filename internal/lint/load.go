@@ -42,6 +42,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 }
 
@@ -53,7 +54,7 @@ type listedPackage struct {
 func goList(dir string, patterns []string) ([]listedPackage, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,DepOnly",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,DepOnly",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -131,18 +132,55 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
-	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
-	pkgs := make([]*Package, 0, len(targets))
+	// Type-check the target packages in dependency order, resolving imports
+	// of other targets to their source-checked types rather than export
+	// data. Interprocedural analyzers depend on this: a *types.Func or field
+	// object reached from an importing package must be the same object the
+	// defining package's own check produced, or cross-package summaries and
+	// annotations would silently fail to line up.
+	byPath := make(map[string]listedPackage, len(targets))
 	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
-			continue
+		if len(t.GoFiles) > 0 {
+			byPath[t.ImportPath] = t
 		}
-		pkg, err := typecheck(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
-		if err != nil {
-			return nil, err
+	}
+	fset := token.NewFileSet()
+	checked := make(map[string]*Package, len(targets))
+	expImp := exportImporter(fset, exports)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := checked[path]; ok {
+			return pkg.Types, nil
 		}
-		pkgs = append(pkgs, pkg)
+		return expImp.Import(path)
+	})
+	var pkgs []*Package
+	for len(pkgs) < len(byPath) {
+		progressed := false
+		for _, t := range targets {
+			if len(t.GoFiles) == 0 || checked[t.ImportPath] != nil {
+				continue
+			}
+			ready := true
+			for _, dep := range t.Imports {
+				if _, isTarget := byPath[dep]; isTarget && checked[dep] == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			pkg, err := typecheck(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+			if err != nil {
+				return nil, err
+			}
+			checked[t.ImportPath] = pkg
+			pkgs = append(pkgs, pkg)
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("lint: import cycle among %d unprocessed packages", len(byPath)-len(pkgs))
+		}
 	}
 	return pkgs, nil
 }
@@ -208,6 +246,155 @@ func LoadDir(dir string) (*Package, error) {
 	fset := token.NewFileSet()
 	return typecheck(fset, exportImporter(fset, exports), filepath.Base(dir), dir, goFiles)
 }
+
+// LoadTree loads a directory and every nested subdirectory holding Go files
+// as one multi-package fixture: each directory becomes a package whose
+// import path is the root's base name plus the relative subdirectory, so a
+// file in testdata/src/taint may `import "taint/vault"` to reach its
+// sibling testdata/src/taint/vault. Packages are type-checked in dependency
+// order with fixture-internal imports resolved against the already-checked
+// siblings and everything else against go list export data. This is how the
+// golden fixtures exercise cross-package analysis (taint propagation, lock
+// graphs) that the go tool's refusal to enumerate testdata would otherwise
+// make untestable.
+func LoadTree(root string) ([]*Package, error) {
+	base := filepath.Base(root)
+	type dirInfo struct {
+		path    string // fixture import path, e.g. "taint/vault"
+		dir     string
+		goFiles []string
+		imports map[string]bool
+	}
+	var dirs []*dirInfo
+	probeFset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		info := &dirInfo{dir: path, imports: make(map[string]bool)}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			info.path = base
+		} else {
+			info.path = base + "/" + filepath.ToSlash(rel)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			info.goFiles = append(info.goFiles, name)
+			f, err := parser.ParseFile(probeFset, filepath.Join(path, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return fmt.Errorf("lint: %w", err)
+			}
+			for _, spec := range f.Imports {
+				p, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					return fmt.Errorf("lint: %w", err)
+				}
+				if p != "unsafe" {
+					info.imports[p] = true
+				}
+			}
+		}
+		if len(info.goFiles) > 0 {
+			sort.Strings(info.goFiles)
+			dirs = append(dirs, info)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lint: no Go files under %s", root)
+	}
+
+	internal := make(map[string]*dirInfo, len(dirs))
+	for _, d := range dirs {
+		internal[d.path] = d
+	}
+	external := make(map[string]bool)
+	for _, d := range dirs {
+		for imp := range d.imports {
+			if internal[imp] == nil {
+				external[imp] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(external) > 0 {
+		patterns := make([]string, 0, len(external))
+		for p := range external {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(root, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	// Type-check in dependency order: a directory is ready once every
+	// fixture-internal import it names has been checked.
+	fset := token.NewFileSet()
+	checked := make(map[string]*Package, len(dirs))
+	expImp := exportImporter(fset, exports)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := checked[path]; ok {
+			return pkg.Types, nil
+		}
+		return expImp.Import(path)
+	})
+	var pkgs []*Package
+	for len(pkgs) < len(dirs) {
+		progressed := false
+		for _, d := range dirs {
+			if checked[d.path] != nil {
+				continue
+			}
+			ready := true
+			for i := range d.imports {
+				if internal[i] != nil && checked[i] == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			pkg, err := typecheck(fset, imp, d.path, d.dir, d.goFiles)
+			if err != nil {
+				return nil, err
+			}
+			checked[d.path] = pkg
+			pkgs = append(pkgs, pkg)
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("lint: import cycle among fixture packages under %s", root)
+		}
+	}
+	return pkgs, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // ModulePath reports the module path of the main module rooted at (or
 // above) dir, via `go list -m`.

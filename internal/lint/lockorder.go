@@ -1,0 +1,454 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer returns the module-wide lock-acquisition-order analyzer.
+// It abstracts every sync.Mutex/RWMutex in the module into a lock class —
+// (owning struct type, field name) for mutex fields, with an array of
+// mutexes like the sender's per-link linkMu collapsing to one class, or
+// (package, var name) for package-level mutexes — and builds the directed
+// graph of "class B acquired while class A is held". An acquisition is
+// charged both for a literal Lock call inside the held region and for a
+// static call to a module function whose transitive acquire set (computed by
+// fixed point over the call graph) contains the class.
+//
+// It reports three things: cycles in the class graph (potential deadlocks),
+// calls that re-acquire a class already held (self-deadlock), and dynamic
+// calls (interface methods, function values) performed while a lock is held
+// — code the analysis cannot see into and which may therefore block or
+// re-enter arbitrarily. The last is the finding to suppress, with a reason,
+// at the module's deliberate callback-under-lock sites.
+func LockOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "lockorder",
+		Doc:       "lock acquisition order must be acyclic, and code must not call into unknown code while holding a lock",
+		RunModule: runLockOrder,
+	}
+}
+
+// lockClass names one abstract lock. All mutexes reached through the same
+// struct field (across all instances, including array/slice elements) are
+// one class.
+type lockClass struct {
+	owner string // named type or package owning the mutex
+	field string // field or variable name
+}
+
+func (c lockClass) String() string { return c.owner + "." + c.field }
+
+// lockEvent is one Lock/Unlock-family call, in source order.
+type lockEvent struct {
+	pos      token.Pos
+	class    lockClass
+	acquire  bool // Lock/RLock/TryLock vs Unlock/RUnlock
+	deferred bool
+}
+
+// lockCall is a non-mutex call, with what lockorder needs to know about it.
+type lockCall struct {
+	pos     token.Pos
+	fn      *types.Func // nil for dynamic dispatch
+	dynamic bool
+	desc    string // display form of the callee for diagnostics
+}
+
+// lockTimeline is one linear execution context: a function body, or a
+// function literal's body analyzed separately so that a goroutine's or
+// callback's lock operations are not misattributed to the frame that merely
+// defines the closure. concurrent marks go-statement closures, whose
+// acquisitions are not charged to the enclosing function's summary.
+type lockTimeline struct {
+	events     []lockEvent
+	calls      []lockCall
+	concurrent bool
+}
+
+// lockEdge is one observed "to acquired while from is held" ordering.
+type lockEdge struct {
+	from, to lockClass
+	pos      token.Pos
+	pkg      *Package
+	how      string // "" for a direct Lock, else the call chain charging it
+}
+
+func runLockOrder(mp *ModulePass) {
+	idx := indexModule(mp.Pkgs)
+
+	timelines := make(map[*types.Func][]lockTimeline)
+	for _, fn := range idx.order {
+		di := idx.funcs[fn]
+		timelines[fn] = collectLockFacts(di.pkg, di.decl)
+	}
+
+	// Transitive acquire sets by fixed point: a function acquires what it
+	// locks directly (including in deferred closures, which run within the
+	// call) plus whatever its static module callees acquire.
+	acquires := make(map[*types.Func]map[lockClass]bool)
+	for _, fn := range idx.order {
+		acquires[fn] = make(map[lockClass]bool)
+		for _, tl := range timelines[fn] {
+			if tl.concurrent {
+				continue
+			}
+			for _, e := range tl.events {
+				if e.acquire {
+					acquires[fn][e.class] = true
+				}
+			}
+		}
+	}
+	for {
+		changed := false
+		for _, fn := range idx.order {
+			for _, tl := range timelines[fn] {
+				if tl.concurrent {
+					continue
+				}
+				for _, c := range tl.calls {
+					if c.fn == nil {
+						continue
+					}
+					for cls := range acquires[c.fn] {
+						if !acquires[fn][cls] {
+							acquires[fn][cls] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var edges []lockEdge
+	for _, fn := range idx.order {
+		di := idx.funcs[fn]
+		for _, tl := range timelines[fn] {
+			edges = append(edges, simulateTimeline(mp, di.pkg, tl, acquires)...)
+		}
+	}
+	reportLockCycles(mp, edges)
+}
+
+// simulateTimeline walks one timeline in source order tracking the held
+// multiset, reporting held dynamic calls and self-deadlocks, and returning
+// the ordering edges it witnesses.
+func simulateTimeline(mp *ModulePass, pkg *Package, tl lockTimeline, acquires map[*types.Func]map[lockClass]bool) []lockEdge {
+	merged := make([]any, 0, len(tl.events)+len(tl.calls))
+	for _, e := range tl.events {
+		merged = append(merged, e)
+	}
+	for _, c := range tl.calls {
+		merged = append(merged, c)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return lockItemPos(merged[i]) < lockItemPos(merged[j]) })
+
+	var edges []lockEdge
+	held := make(map[lockClass]int)
+	var heldOrder []lockClass
+	for _, item := range merged {
+		switch it := item.(type) {
+		case lockEvent:
+			if !it.acquire {
+				// A deferred unlock keeps the lock held for the rest of the
+				// walk, matching its real extent.
+				if !it.deferred && held[it.class] > 0 {
+					held[it.class]--
+					if held[it.class] == 0 {
+						heldOrder = removeClass(heldOrder, it.class)
+					}
+				}
+				continue
+			}
+			for cls, n := range held {
+				if n > 0 && cls != it.class {
+					edges = append(edges, lockEdge{from: cls, to: it.class, pos: it.pos, pkg: pkg})
+				}
+			}
+			held[it.class]++
+			if held[it.class] == 1 {
+				heldOrder = append(heldOrder, it.class)
+			}
+		case lockCall:
+			if len(heldOrder) == 0 {
+				continue
+			}
+			if it.dynamic {
+				mp.Reportf(pkg.Fset, it.pos,
+					"dynamic call %s while holding %s; the analysis cannot rule out blocking or lock re-entry in the callee",
+					it.desc, describeHeld(heldOrder))
+				continue
+			}
+			for cls := range acquires[it.fn] {
+				for held2, n := range held {
+					if n == 0 {
+						continue
+					}
+					if held2 == cls {
+						mp.Reportf(pkg.Fset, it.pos,
+							"call to %s acquires %s, which is already held here: self-deadlock",
+							it.fn.Name(), cls)
+						continue
+					}
+					edges = append(edges, lockEdge{
+						from: held2, to: cls, pos: it.pos, pkg: pkg,
+						how: fmt.Sprintf("via call to %s", it.fn.Name()),
+					})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func lockItemPos(it any) token.Pos {
+	switch v := it.(type) {
+	case lockEvent:
+		return v.pos
+	case lockCall:
+		return v.pos
+	}
+	return token.NoPos
+}
+
+func removeClass(order []lockClass, c lockClass) []lockClass {
+	out := order[:0]
+	for _, x := range order {
+		if x != c {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func describeHeld(order []lockClass) string {
+	names := make([]string, len(order))
+	for i, c := range order {
+		names[i] = c.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+// reportLockCycles finds edges that participate in a cycle of the class
+// graph and reports each witnessing site once.
+func reportLockCycles(mp *ModulePass, edges []lockEdge) {
+	adj := make(map[lockClass]map[lockClass]bool)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[lockClass]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	// Cheap reachability suffices at module scale: edge u→v is in a cycle
+	// iff u is reachable from v.
+	reaches := func(from, to lockClass) bool {
+		seen := map[lockClass]bool{from: true}
+		stack := []lockClass{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			for next := range adj[n] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	seenSite := make(map[string]bool)
+	for _, e := range edges {
+		if !reaches(e.to, e.from) {
+			continue
+		}
+		how := e.how
+		if how != "" {
+			how = " " + how
+		}
+		key := fmt.Sprintf("%d:%s:%s", e.pos, e.from, e.to)
+		if seenSite[key] {
+			continue
+		}
+		seenSite[key] = true
+		mp.Reportf(e.pkg.Fset, e.pos,
+			"lock order cycle: %s acquired%s while %s is held, but the reverse order also occurs in the module",
+			e.to, how, e.from)
+	}
+}
+
+// collectLockFacts extracts the timelines of decl: its own body, plus one
+// per function literal (deferred closures stay non-concurrent because they
+// run within the call; go-statement closures are marked concurrent).
+func collectLockFacts(pkg *Package, decl *ast.FuncDecl) []lockTimeline {
+	var timelines []lockTimeline
+	var walk func(root ast.Node, tl *lockTimeline)
+	newTimeline := func(body *ast.BlockStmt, concurrent bool) {
+		tl := lockTimeline{concurrent: concurrent}
+		walk(body, &tl)
+		timelines = append(timelines, tl)
+	}
+	walk = func(root ast.Node, tl *lockTimeline) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					newTimeline(lit.Body, true)
+				}
+				// The spawned call itself runs concurrently: its acquires
+				// are not charged here. Arguments are evaluated in this
+				// frame, so walk them.
+				for _, a := range n.Call.Args {
+					walk(a, tl)
+				}
+				return false
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					newTimeline(lit.Body, false)
+				} else {
+					visitLockCall(pkg, n.Call, true, tl)
+				}
+				for _, a := range n.Call.Args {
+					walk(a, tl)
+				}
+				return false
+			case *ast.FuncLit:
+				newTimeline(n.Body, false)
+				return false
+			case *ast.CallExpr:
+				if _, ok := ast.Unparen(n.Fun).(*ast.FuncLit); !ok {
+					visitLockCall(pkg, n, false, tl)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	rootTl := lockTimeline{}
+	walk(decl.Body, &rootTl)
+	timelines = append([]lockTimeline{rootTl}, timelines...)
+	// Re-sort events and calls: nested walks may append out of order.
+	for i := range timelines {
+		tl := &timelines[i]
+		sort.SliceStable(tl.events, func(a, b int) bool { return tl.events[a].pos < tl.events[b].pos })
+		sort.SliceStable(tl.calls, func(a, b int) bool { return tl.calls[a].pos < tl.calls[b].pos })
+	}
+	return timelines
+}
+
+// visitLockCall classifies one call as a mutex operation, a static call, or
+// a dynamic call, and records it on the timeline.
+func visitLockCall(pkg *Package, call *ast.CallExpr, deferred bool, tl *lockTimeline) {
+	kind, fn, _ := classifyCall(pkg.Info, call)
+	switch kind {
+	case callBuiltin, callConversion:
+		return
+	case callStatic:
+		if cls, acquire, ok := mutexOp(pkg, call, fn); ok {
+			tl.events = append(tl.events, lockEvent{pos: call.Pos(), class: cls, acquire: acquire, deferred: deferred})
+			return
+		}
+		// Static calls are recorded unconditionally; the simulation only
+		// consults the callee's acquire summary, which is empty for
+		// functions outside the analyzed set (stdlib and friends).
+		tl.calls = append(tl.calls, lockCall{pos: call.Pos(), fn: fn, desc: fn.Name()})
+	default:
+		tl.calls = append(tl.calls, lockCall{pos: call.Pos(), dynamic: true, desc: callDesc(call)})
+	}
+}
+
+// mutexOp reports whether call is a Lock-family method on a sync mutex, and
+// resolves the lock class. Mutexes the resolver cannot attribute (locals,
+// arbitrary expressions) are ignored: a mutex that never escapes a stack
+// frame cannot participate in a cross-goroutine cycle.
+func mutexOp(pkg *Package, call *ast.CallExpr, fn *types.Func) (lockClass, bool, bool) {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockClass{}, false, false
+	}
+	var acquire bool
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockClass{}, false, false
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return lockClass{}, false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockClass{}, false, false
+	}
+	cls, ok := resolveLockClass(pkg, sel.X)
+	return cls, acquire, ok
+}
+
+// resolveLockClass maps a mutex-valued expression to its class.
+func resolveLockClass(pkg *Package, e ast.Expr) (lockClass, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X // s.linkMu[i] → the linkMu field is the class
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				owner := derefType(sel.Recv())
+				if named, ok := owner.(*types.Named); ok {
+					return lockClass{owner: named.Obj().Name(), field: sel.Obj().Name()}, true
+				}
+				return lockClass{}, false
+			}
+			// Package-qualified variable: pkg.mu.Lock().
+			if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+				return lockClass{owner: v.Pkg().Name(), field: v.Name()}, true
+			}
+			return lockClass{}, false
+		case *ast.Ident:
+			v, ok := pkg.Info.Uses[x].(*types.Var)
+			if !ok {
+				return lockClass{}, false
+			}
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return lockClass{owner: v.Pkg().Name(), field: v.Name()}, true
+			}
+			// Local or parameter mutex: untracked.
+			return lockClass{}, false
+		default:
+			return lockClass{}, false
+		}
+	}
+}
+
+// callDesc renders a short display form of a dynamic call target.
+func callDesc(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		if inner, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			return inner.Sel.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "function value"
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF (Static Analysis Results Interchange Format) 2.1.0 output, the
+// format code-scanning services ingest. The encoder is deliberately minimal:
+// one run, one rule per analyzer, one result per diagnostic, all locations
+// repository-relative so uploads resolve against the checkout.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifSyntheticRules documents the diagnostics the framework itself emits,
+// outside any registered analyzer.
+var sarifSyntheticRules = map[string]string{
+	directiveAnalyzerName:  "lint:allow directives must be well-formed and name a known analyzer",
+	staleAllowAnalyzerName: "lint:allow directives must suppress at least one diagnostic",
+}
+
+// WriteSARIF renders diags as a SARIF 2.1.0 log on w. Every analyzer in
+// analyzers becomes a rule whether or not it fired, so the rule catalog is
+// stable across runs; framework diagnostics (directive validation,
+// stale-allow) get synthetic rules appended on demand. File paths are
+// emitted slash-separated relative to the repository root the linter ran in.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+2)
+	index := make(map[string]int, len(analyzers)+2)
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifText{Text: doc}})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if _, ok := index[d.Analyzer]; !ok {
+			doc := sarifSyntheticRules[d.Analyzer]
+			if doc == "" {
+				doc = "diagnostic emitted outside the registered analyzer suite"
+			}
+			addRule(d.Analyzer, doc)
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(d.File),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Line, StartColumn: d.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "remicss-lint",
+				InformationURI: "https://github.com/remicss/remicss",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

@@ -1,0 +1,107 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"remicss/internal/lint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSARIFGolden pins the exact SARIF 2.1.0 bytes for a fixed diagnostic
+// set: the rule catalog (every default analyzer plus the synthetic
+// stale-allow rule), rule index resolution, slash-normalized repo-relative
+// URIs, and region coordinates. Regenerate with -update after deliberate
+// format changes.
+func TestSARIFGolden(t *testing.T) {
+	analyzers := lint.DefaultAnalyzers("remicss")
+	diags := []lint.Diagnostic{
+		{
+			Analyzer: "taint",
+			File:     "internal/shamir/shamir.go",
+			Line:     42,
+			Column:   7,
+			Message:  "secret value (//remicss:secret field Y) reaches fmt.Errorf",
+		},
+		{
+			Analyzer: "lockorder",
+			File:     "internal/remicss/sender.go",
+			Line:     310,
+			Column:   3,
+			Message:  "lock order cycle: Sender.chooserMu acquired while Sender.linkMu is held, but the reverse order also occurs in the module",
+		},
+		{
+			Analyzer: "stale-allow",
+			File:     "examples/chaos/main.go",
+			Line:     12,
+			Column:   5,
+			Message:  "lint:allow insecure-rand directive suppresses no diagnostic; the invariant holds here, remove the directive",
+		},
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, analyzers, diags); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "golden.sarif")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output drifted from golden file; run with -update if intended\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSARIFEmpty asserts a clean run still produces a valid log with the
+// full rule catalog and an empty (non-null) results array — code-scanning
+// endpoints reject null results.
+func TestSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, lint.DefaultAnalyzers("remicss"), nil); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("decoding SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "remicss-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(lint.DefaultAnalyzers("remicss")) {
+		t.Errorf("rule catalog has %d rules, want %d", len(run.Tool.Driver.Rules), len(lint.DefaultAnalyzers("remicss")))
+	}
+	if run.Results == nil {
+		t.Error("results is null; must be an empty array")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"results": []`)) {
+		t.Error("empty results not serialized as []")
+	}
+}

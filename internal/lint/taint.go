@@ -1,0 +1,1240 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TaintAnalyzer returns the interprocedural secret-taint analyzer. It is the
+// static counterpart of the protocol's privacy model: values annotated
+// //remicss:secret (and every value of a type that transitively contains an
+// annotated field) must never reach an observational side door — error
+// construction, formatted strings, log output, obs trace events or metric
+// labels, os.Stdout — nor escape into retained structures that are not
+// themselves marked secret.
+//
+// The analysis computes a per-function summary (which flattened parameters
+// flow to which results, which flow out through pointer/slice parameters,
+// and which reach a sink or escape inside the callee) and iterates the
+// module's functions to a fixed point, so a leak is caught across any number
+// of call hops and package boundaries. It is flow-insensitive within a
+// function (taint accumulates; assignments never implicitly clean a
+// variable) and conservative at dynamic calls. Two annotations adjust it:
+//
+//	//remicss:secret [name ...]  on a field, variable, or function doc marks
+//	                             sources; on a func doc with no names, every
+//	                             parameter (and receiver) is secret.
+//	//remicss:sanitizer          on a function doc declares that its results
+//	                             carry no taint and that byte-slice arguments
+//	                             are scrubbed by the call (the zeroize
+//	                             pattern). crypto/subtle is an implicit
+//	                             sanitizer: comparisons do not leak.
+func TaintAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "taint",
+		Doc:       "secret-annotated data must not reach errors, logs, traces, metric labels, or unannotated retained state",
+		RunModule: runTaint,
+	}
+}
+
+// paramBits is a bitset over a function's flattened parameters (receiver
+// first). Parameters beyond 64 are untracked, which no function in this
+// module approaches.
+type paramBits uint64
+
+func bit(i int) paramBits {
+	if i < 0 || i >= 64 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// taintVal is the lattice value of one expression or variable: `secret`
+// means it concretely carries annotated secret material (with a witness for
+// the report), and `params` means it carries whatever taint the enclosing
+// function's corresponding arguments carry — the symbolic half that makes
+// summaries compose across calls.
+type taintVal struct {
+	secret bool
+	why    string
+	params paramBits
+}
+
+func (t taintVal) empty() bool { return !t.secret && t.params == 0 }
+
+func (t *taintVal) join(o taintVal) bool {
+	changed := false
+	if o.secret && !t.secret {
+		t.secret, t.why = true, o.why
+		changed = true
+	}
+	if o.params&^t.params != 0 {
+		t.params |= o.params
+		changed = true
+	}
+	return changed
+}
+
+func secretVal(why string) taintVal { return taintVal{secret: true, why: why} }
+
+// taintSummary is one function's interprocedural contract. All fields grow
+// monotonically across fixed-point rounds, which is what guarantees
+// termination.
+type taintSummary struct {
+	// results holds the taint of each result slot in terms of the callee's
+	// own flattened parameters plus any concrete secret it manufactures.
+	results []taintVal
+	// paramOut holds taint the function writes through each flattened
+	// parameter (stores through pointers, slice elements, copy into an
+	// argument), again relative to its own parameters.
+	paramOut []taintVal
+	// sinks maps a flattened parameter index to a description of the sink
+	// it transitively reaches, e.g. "fmt.Errorf" or "Unmarshal → fmt.Errorf".
+	sinks map[int]string
+	// escapes maps a flattened parameter index to the retained structure it
+	// transitively escapes into.
+	escapes map[int]string
+}
+
+func newTaintSummary(fn *types.Func) *taintSummary {
+	return &taintSummary{
+		results:  make([]taintVal, funcSig(fn).Results().Len()),
+		paramOut: make([]taintVal, len(flatParams(fn))),
+		sinks:    make(map[int]string),
+		escapes:  make(map[int]string),
+	}
+}
+
+// merge joins src into dst and reports whether dst grew.
+func (dst *taintSummary) merge(src *taintSummary) bool {
+	changed := false
+	for i := range dst.results {
+		if dst.results[i].join(src.results[i]) {
+			changed = true
+		}
+	}
+	for i := range dst.paramOut {
+		if dst.paramOut[i].join(src.paramOut[i]) {
+			changed = true
+		}
+	}
+	for i, d := range src.sinks {
+		if _, ok := dst.sinks[i]; !ok {
+			dst.sinks[i] = d
+			changed = true
+		}
+	}
+	for i, d := range src.escapes {
+		if _, ok := dst.escapes[i]; !ok {
+			dst.escapes[i] = d
+			changed = true
+		}
+	}
+	return changed
+}
+
+// secretInfo is the source model: which fields, variables, and parameters
+// the module has annotated as secret, which functions are sanitizers, and
+// (memoized) which types intrinsically carry secret material.
+type secretInfo struct {
+	// lines marks, per file, source lines covered by a //remicss:secret
+	// comment. A marker on line L annotates declarations on L (trailing
+	// comment) and L+1 (doc line above), mirroring //lint:allow placement.
+	lines map[string]map[int]bool
+	// fields/vars are the annotated objects resolved from those lines.
+	fields map[types.Object]bool
+	vars   map[types.Object]bool
+	// funcAll marks functions whose doc carries a bare //remicss:secret
+	// (receiver and every parameter are sources); funcParams names specific
+	// parameters.
+	funcAll    map[*types.Func]bool
+	funcParams map[*types.Func]map[string]bool
+	sanitizers map[*types.Func]bool
+	// sigRanges excludes function signature spans from line-based
+	// annotation, so `//remicss:secret payload` in a func doc marks only the
+	// named parameter instead of every parameter declared on the next line.
+	sigRanges map[string][][2]token.Pos
+
+	typeMemo map[types.Type]bool
+}
+
+// markerFields returns the space-separated arguments of a //remicss:<name>
+// marker in doc, and whether the marker is present at all.
+func markerFields(doc *ast.CommentGroup, name string) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	marker := "//remicss:" + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker {
+			return nil, true
+		}
+		if strings.HasPrefix(text, marker+" ") {
+			return strings.Fields(strings.TrimPrefix(text, marker+" ")), true
+		}
+	}
+	return nil, false
+}
+
+func collectSecrets(pkgs []*Package) *secretInfo {
+	sec := &secretInfo{
+		lines:      make(map[string]map[int]bool),
+		fields:     make(map[types.Object]bool),
+		vars:       make(map[types.Object]bool),
+		funcAll:    make(map[*types.Func]bool),
+		funcParams: make(map[*types.Func]map[string]bool),
+		sanitizers: make(map[*types.Func]bool),
+		sigRanges:  make(map[string][][2]token.Pos),
+		typeMemo:   make(map[types.Type]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					// The marker may share a comment with other annotations
+					// ("// guarded by mu //remicss:secret").
+					if strings.Contains(c.Text, "//remicss:secret") {
+						pos := pkg.Fset.Position(c.Pos())
+						m := sec.lines[pos.Filename]
+						if m == nil {
+							m = make(map[int]bool)
+							sec.lines[pos.Filename] = m
+						}
+						m[pos.Line] = true
+					}
+				}
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				file := pkg.Fset.Position(fd.Type.Pos()).Filename
+				sec.sigRanges[file] = append(sec.sigRanges[file], [2]token.Pos{fd.Type.Pos(), fd.Type.End()})
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if hasMarker(fd.Doc, "sanitizer") {
+					sec.sanitizers[fn] = true
+				}
+				if names, ok := markerFields(fd.Doc, "secret"); ok {
+					if len(names) == 0 {
+						sec.funcAll[fn] = true
+					} else {
+						m := make(map[string]bool, len(names))
+						for _, n := range names {
+							m[n] = true
+						}
+						sec.funcParams[fn] = m
+					}
+				}
+			}
+		}
+		// Resolve annotated lines to the variable and field objects defined
+		// on them. A marker annotates the defs on its own line (trailing
+		// comment); only when that line defines nothing — the marker is a
+		// standalone comment — does it annotate the line below, so a trailing
+		// marker never bleeds onto the next declaration.
+		defsAt := make(map[string]map[int][]*types.Var)
+		for id, obj := range pkg.Info.Defs {
+			v, ok := obj.(*types.Var)
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(id.Pos())
+			if sec.lines[pos.Filename] == nil {
+				continue
+			}
+			inSig := false
+			for _, r := range sec.sigRanges[pos.Filename] {
+				if id.Pos() >= r[0] && id.Pos() < r[1] {
+					inSig = true
+					break
+				}
+			}
+			if inSig {
+				continue
+			}
+			m := defsAt[pos.Filename]
+			if m == nil {
+				m = make(map[int][]*types.Var)
+				defsAt[pos.Filename] = m
+			}
+			m[pos.Line] = append(m[pos.Line], v)
+		}
+		for filename, markers := range sec.lines {
+			for line := range markers {
+				vars := defsAt[filename][line]
+				if len(vars) == 0 {
+					vars = defsAt[filename][line+1]
+				}
+				for _, v := range vars {
+					if v.IsField() {
+						sec.fields[v] = true
+					} else {
+						sec.vars[v] = true
+					}
+				}
+			}
+		}
+	}
+	return sec
+}
+
+// secretType reports whether values of t intrinsically carry secret
+// material: a struct with a //remicss:secret field (transitively), or a
+// slice, array, pointer, map, or channel thereof. Expressions of such types
+// are tainted wherever they appear, which is how taint survives trips
+// through containers and interface boxes without alias analysis: the moment
+// the value comes back at its concrete type, it is secret again.
+func (s *secretInfo) secretType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := s.typeMemo[t]; ok {
+		return v
+	}
+	s.typeMemo[t] = false // cycle breaker; real answer overwrites below
+	result := false
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if s.fields[f] || s.secretType(f.Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Slice:
+		result = s.secretType(u.Elem())
+	case *types.Array:
+		result = s.secretType(u.Elem())
+	case *types.Pointer:
+		result = s.secretType(u.Elem())
+	case *types.Map:
+		result = s.secretType(u.Elem()) || s.secretType(u.Key())
+	case *types.Chan:
+		result = s.secretType(u.Elem())
+	}
+	s.typeMemo[t] = result
+	return result
+}
+
+// typeShort renders t with bare package names for diagnostics.
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// taintEngine holds the module-wide fixed-point state.
+type taintEngine struct {
+	idx       *moduleIndex
+	sec       *secretInfo
+	summaries map[*types.Func]*taintSummary
+}
+
+func runTaint(mp *ModulePass) {
+	eng := &taintEngine{
+		idx:       indexModule(mp.Pkgs),
+		sec:       collectSecrets(mp.Pkgs),
+		summaries: make(map[*types.Func]*taintSummary),
+	}
+	for _, fn := range eng.idx.order {
+		eng.summaries[fn] = newTaintSummary(fn)
+	}
+	// Phase 1: iterate summaries to a fixed point. Every summary component
+	// only grows, so this terminates; the round cap is a safety net.
+	for round := 0; round < 64; round++ {
+		changed := false
+		for _, fn := range eng.idx.order {
+			if eng.summaries[fn].merge(eng.analyzeFunc(fn, nil)) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Phase 2: one reporting pass per function against the final summaries,
+	// so each leak is reported exactly once, at the frame where concrete
+	// secret material enters the flow.
+	for _, fn := range eng.idx.order {
+		eng.analyzeFunc(fn, mp)
+	}
+}
+
+// analyzeFunc runs the intraprocedural transfer function for fn: it iterates
+// the body to a local fixed point under the current callee summaries and
+// returns the resulting summary. With mp non-nil it instead performs one
+// final walk that emits diagnostics.
+func (eng *taintEngine) analyzeFunc(fn *types.Func, mp *ModulePass) *taintSummary {
+	di := eng.idx.funcs[fn]
+	fa := &funcAnalysis{
+		eng:       eng,
+		pkg:       di.pkg,
+		fn:        fn,
+		decl:      di.decl,
+		params:    make(map[types.Object]int),
+		taint:     make(map[types.Object]taintVal),
+		alias:     make(map[types.Object]types.Object),
+		killedAt:  make(map[types.Object]token.Pos),
+		taintedAt: make(map[types.Object]token.Pos),
+		sum:       newTaintSummary(fn),
+		reported:  make(map[string]bool),
+	}
+	flat := flatParams(fn)
+	names := eng.sec.funcParams[fn]
+	for i, p := range flat {
+		fa.params[p] = i
+		tv := taintVal{params: bit(i)}
+		if eng.sec.funcAll[fn] || (names != nil && names[p.Name()]) {
+			tv.join(secretVal(fmt.Sprintf("parameter %s of %s is //remicss:secret", p.Name(), fn.Name())))
+		}
+		fa.taint[p] = tv
+	}
+	// Named results participate in bare returns.
+	if res := di.decl.Type.Results; res != nil {
+		for _, field := range res.List {
+			for _, name := range field.Names {
+				if obj := di.pkg.Info.Defs[name]; obj != nil {
+					fa.namedResults = append(fa.namedResults, obj)
+				}
+			}
+		}
+	}
+	for i := 0; i < 12; i++ {
+		fa.changed = false
+		fa.walk(fa.decl.Body, true)
+		if !fa.changed {
+			break
+		}
+	}
+	if mp != nil {
+		fa.mp = mp
+		fa.walk(fa.decl.Body, true)
+	}
+	return fa.sum
+}
+
+// funcAnalysis is the per-function walk state.
+type funcAnalysis struct {
+	eng          *taintEngine
+	pkg          *Package
+	fn           *types.Func
+	decl         *ast.FuncDecl
+	params       map[types.Object]int
+	namedResults []types.Object
+	taint        map[types.Object]taintVal
+	alias        map[types.Object]types.Object
+	killedAt     map[types.Object]token.Pos
+	taintedAt    map[types.Object]token.Pos
+	sum          *taintSummary
+	mp           *ModulePass
+	reported     map[string]bool
+	changed      bool
+}
+
+// walk visits every statement and call in body. topLevel distinguishes the
+// function's own body from nested function literals, whose return statements
+// must not contribute to the outer function's result taint.
+func (fa *funcAnalysis) walk(body *ast.BlockStmt, topLevel bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			fa.walk(n.Body, false)
+			return false
+		case *ast.AssignStmt:
+			fa.handleAssign(n)
+		case *ast.ValueSpec:
+			fa.handleValueSpec(n)
+		case *ast.ReturnStmt:
+			if topLevel {
+				fa.handleReturn(n)
+			}
+		case *ast.RangeStmt:
+			fa.handleRange(n)
+		case *ast.CallExpr:
+			fa.processCall(n)
+		}
+		return true
+	})
+}
+
+func (fa *funcAnalysis) objOf(id *ast.Ident) types.Object {
+	if obj := fa.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return fa.pkg.Info.Defs[id]
+}
+
+// rootObj resolves the variable ultimately written by stores through e
+// (stripping indexing, slicing, dereference, and address-of) and follows
+// slice/pointer aliases recorded by handleAssign.
+func (fa *funcAnalysis) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.Ident:
+			obj := fa.objOf(x)
+			if v, ok := obj.(*types.Var); ok {
+				return fa.followAlias(v)
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func (fa *funcAnalysis) followAlias(obj types.Object) types.Object {
+	for i := 0; i < 16; i++ {
+		next, ok := fa.alias[obj]
+		if !ok {
+			return obj
+		}
+		obj = next
+	}
+	return obj
+}
+
+func (fa *funcAnalysis) isPkgVar(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// taintOf computes the current taint of expression e. It is a pure read of
+// the walk state; call side effects are applied separately by processCall.
+func (fa *funcAnalysis) taintOf(e ast.Expr) taintVal {
+	var t taintVal
+	if e == nil {
+		return t
+	}
+	if typ := fa.pkg.Info.TypeOf(e); typ != nil && fa.eng.sec.secretType(typ) {
+		t.join(secretVal("value of secret-bearing type " + typeShort(typ)))
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := fa.objOf(e)
+		if v, ok := obj.(*types.Var); ok {
+			if fa.eng.sec.vars[v] {
+				t.join(secretVal("//remicss:secret variable " + v.Name()))
+			}
+			t.join(fa.taint[fa.followAlias(v)])
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := fa.pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			// Field projection barrier: an unannotated field of a
+			// non-secret type read from a tainted base is clean (share
+			// indices, sequence numbers, lengths). Annotated fields are
+			// secret regardless of the base; secret-typed fields were
+			// already caught by the intrinsic check above.
+			if fa.eng.sec.fields[sel.Obj()] {
+				t.join(secretVal("//remicss:secret field " + sel.Obj().Name()))
+			}
+		} else if v, ok := fa.pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			// Package-qualified variable.
+			if fa.eng.sec.vars[v] {
+				t.join(secretVal("//remicss:secret variable " + v.Name()))
+			}
+			t.join(fa.taint[v])
+		}
+	case *ast.ParenExpr:
+		t.join(fa.taintOf(e.X))
+	case *ast.StarExpr:
+		t.join(fa.taintOf(e.X))
+	case *ast.UnaryExpr:
+		if e.Op != token.NOT {
+			t.join(fa.taintOf(e.X))
+		}
+	case *ast.IndexExpr:
+		t.join(fa.taintOf(e.X))
+	case *ast.SliceExpr:
+		t.join(fa.taintOf(e.X))
+	case *ast.TypeAssertExpr:
+		t.join(fa.taintOf(e.X))
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.LAND, token.LOR:
+			// Comparisons and boolean connectives declassify: a branch
+			// outcome is the protocol-level observable the model already
+			// prices in, not a byte leak.
+		default:
+			t.join(fa.taintOf(e.X))
+			t.join(fa.taintOf(e.Y))
+		}
+	case *ast.CompositeLit:
+		isMap := false
+		if typ := fa.pkg.Info.TypeOf(e); typ != nil {
+			_, isMap = typ.Underlying().(*types.Map)
+		}
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				t.join(fa.taintOf(kv.Value))
+				if isMap {
+					t.join(fa.taintOf(kv.Key))
+				}
+			} else {
+				t.join(fa.taintOf(elt))
+			}
+		}
+	case *ast.CallExpr:
+		results := fa.callResults(e)
+		for _, r := range results {
+			t.join(r)
+		}
+	}
+	return t
+}
+
+// joinObj accumulates tv into the root object, tracking when it last gained
+// taint (for the zeroize check) and growing the paramOut summary when the
+// write is through a parameter's memory.
+func (fa *funcAnalysis) joinObj(root types.Object, tv taintVal, pos token.Pos, indirect bool) {
+	if root == nil || tv.empty() {
+		return
+	}
+	cur := fa.taint[root]
+	if cur.join(tv) {
+		fa.taint[root] = cur
+		fa.changed = true
+	}
+	if p := fa.taintedAt[root]; pos > p {
+		fa.taintedAt[root] = pos
+	}
+	if indirect {
+		if i, ok := fa.params[root]; ok {
+			if fa.sum.paramOut[i].join(tv) {
+				fa.changed = true
+			}
+		}
+	}
+}
+
+func (fa *funcAnalysis) kill(e ast.Expr, pos token.Pos) {
+	root := fa.rootObj(e)
+	if root == nil {
+		return
+	}
+	if p := fa.killedAt[root]; pos > p {
+		fa.killedAt[root] = pos
+	}
+}
+
+// store applies an assignment of tv into lhs.
+func (fa *funcAnalysis) store(lhs ast.Expr, tv taintVal, pos token.Pos, indirect bool) {
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			e, indirect = x.X, true
+			continue
+		case *ast.SliceExpr:
+			e, indirect = x.X, true
+			continue
+		case *ast.StarExpr:
+			e, indirect = x.X, true
+			continue
+		}
+		break
+	}
+	switch base := e.(type) {
+	case *ast.Ident:
+		if base.Name == "_" {
+			return
+		}
+		obj := fa.objOf(base)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		if fa.isPkgVar(v) {
+			fa.checkRetention(v, tv, lhs.Pos(), "package-level variable "+v.Name(),
+				fa.eng.sec.vars[v] || fa.eng.sec.secretType(v.Type()))
+			return
+		}
+		fa.joinObj(fa.followAlias(v), tv, pos, indirect)
+	case *ast.SelectorExpr:
+		if sel, ok := fa.pkg.Info.Selections[base]; ok && sel.Kind() == types.FieldVal {
+			f := sel.Obj()
+			recv := typeShort(derefType(fa.pkg.Info.TypeOf(base.X)))
+			fa.checkRetention(f, tv, lhs.Pos(), fmt.Sprintf("unannotated field %s.%s", recv, f.Name()),
+				fa.eng.sec.fields[f] || fa.eng.sec.secretType(f.Type()))
+			return
+		}
+		if v, ok := fa.pkg.Info.Uses[base.Sel].(*types.Var); ok && fa.isPkgVar(v) {
+			fa.checkRetention(v, tv, lhs.Pos(), "package-level variable "+v.Name(),
+				fa.eng.sec.vars[v] || fa.eng.sec.secretType(v.Type()))
+		}
+	}
+}
+
+// checkRetention enforces the escape half of the invariant: secret taint may
+// only be stored into locations that are themselves part of the annotated
+// secret perimeter.
+func (fa *funcAnalysis) checkRetention(obj types.Object, tv taintVal, pos token.Pos, where string, inPerimeter bool) {
+	if inPerimeter || tv.empty() {
+		return
+	}
+	if tv.secret {
+		fa.report(pos, fmt.Sprintf("secret value (%s) escapes into %s; annotate the destination //remicss:secret or scrub the value first", tv.why, where))
+	}
+	for i := 0; i < 64; i++ {
+		if tv.params&bit(i) != 0 {
+			if _, ok := fa.sum.escapes[i]; !ok {
+				fa.sum.escapes[i] = where
+				fa.changed = true
+			}
+		}
+	}
+	_ = obj
+}
+
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return t
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func (fa *funcAnalysis) handleAssign(n *ast.AssignStmt) {
+	// Multi-value forms: x, y := f() / v, ok := m[k] / v, ok := x.(T).
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			results := fa.callResults(call)
+			for i, lhs := range n.Lhs {
+				if i < len(results) {
+					fa.store(lhs, results[i], n.TokPos, false)
+				}
+			}
+			return
+		}
+		t := fa.taintOf(n.Rhs[0])
+		fa.store(n.Lhs[0], t, n.TokPos, false)
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		rhs := n.Rhs[i]
+		t := fa.taintOf(rhs)
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			// Compound assignment reads the destination too.
+			t.join(fa.taintOf(lhs))
+		}
+		if n.Tok == token.DEFINE {
+			fa.recordAlias(lhs, rhs)
+		}
+		fa.store(lhs, t, n.TokPos, false)
+	}
+}
+
+// recordAlias remembers that a defined slice or pointer local shares backing
+// memory with the right-hand side's root, so later stores through the new
+// name resolve to the original variable (and produce paramOut facts when
+// that original is a parameter): buf := dst[off:]; copy(buf, secret) must
+// taint dst in the caller.
+func (fa *funcAnalysis) recordAlias(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj, ok := fa.pkg.Info.Defs[id].(*types.Var)
+	if !ok {
+		return
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Slice, *types.Pointer:
+	default:
+		return
+	}
+	root := fa.rootObj(rhs)
+	if root == nil || root == obj || fa.isPkgVar(root) {
+		return
+	}
+	if fa.alias[obj] != root {
+		fa.alias[obj] = root
+		fa.changed = true
+	}
+}
+
+// handleValueSpec treats `var x = expr` inside a body like a define.
+func (fa *funcAnalysis) handleValueSpec(n *ast.ValueSpec) {
+	if len(n.Names) > 1 && len(n.Values) == 1 {
+		if call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr); ok {
+			results := fa.callResults(call)
+			for i, name := range n.Names {
+				if i < len(results) {
+					fa.store(name, results[i], n.Pos(), false)
+				}
+			}
+			return
+		}
+	}
+	for i, name := range n.Names {
+		if i >= len(n.Values) {
+			break
+		}
+		fa.recordAlias(name, n.Values[i])
+		fa.store(name, fa.taintOf(n.Values[i]), n.Pos(), false)
+	}
+}
+
+func (fa *funcAnalysis) handleReturn(n *ast.ReturnStmt) {
+	joinResult := func(i int, tv taintVal) {
+		if i < len(fa.sum.results) && fa.sum.results[i].join(tv) {
+			fa.changed = true
+		}
+	}
+	if len(n.Results) == 0 {
+		for i, obj := range fa.namedResults {
+			joinResult(i, fa.taint[obj])
+		}
+		return
+	}
+	if len(n.Results) == 1 && len(fa.sum.results) > 1 {
+		if call, ok := ast.Unparen(n.Results[0]).(*ast.CallExpr); ok {
+			for i, tv := range fa.callResults(call) {
+				joinResult(i, tv)
+			}
+			return
+		}
+	}
+	for i, e := range n.Results {
+		joinResult(i, fa.taintOf(e))
+	}
+}
+
+func (fa *funcAnalysis) handleRange(n *ast.RangeStmt) {
+	t := fa.taintOf(n.X)
+	if n.Value != nil {
+		fa.store(n.Value, t, n.TokPos, false)
+		if n.Tok == token.DEFINE {
+			fa.recordAlias(n.Value, n.X)
+		}
+	}
+}
+
+// callResults computes the taint of each result of call without applying
+// side effects.
+func (fa *funcAnalysis) callResults(call *ast.CallExpr) []taintVal {
+	kind, fn, builtin := classifyCall(fa.pkg.Info, call)
+	switch kind {
+	case callConversion:
+		if len(call.Args) == 1 {
+			return []taintVal{fa.taintOf(call.Args[0])}
+		}
+		return nil
+	case callBuiltin:
+		switch builtin.Name() {
+		case "append":
+			var t taintVal
+			for _, a := range call.Args {
+				t.join(fa.taintOf(a))
+			}
+			return []taintVal{t}
+		default:
+			// len, cap, copy, make, new, min, max, clear, delete, ...:
+			// results carry no byte-level taint.
+			return []taintVal{{}}
+		}
+	case callStatic:
+		if fa.isSanitizer(fn) {
+			return make([]taintVal, funcSig(fn).Results().Len())
+		}
+		if catalogSink(fn) != "" {
+			// The leak is reported at the sink call itself; its result (a
+			// formatted string or error) is not re-reported downstream.
+			return make([]taintVal, funcSig(fn).Results().Len())
+		}
+		if sum, ok := fa.eng.summaries[fn]; ok {
+			out := make([]taintVal, len(sum.results))
+			for i, tv := range sum.results {
+				out[i] = fa.resolveSummaryVal(tv, fn, call)
+			}
+			return out
+		}
+		return fa.defaultCallResults(funcSig(fn), call)
+	default: // callDynamic
+		var sig *types.Signature
+		if tv, ok := fa.pkg.Info.Types[call.Fun]; ok {
+			sig, _ = tv.Type.Underlying().(*types.Signature)
+		}
+		return fa.defaultCallResults(sig, call)
+	}
+}
+
+// defaultCallResults is the conservative model for calls with no body
+// available: every non-error result carries the join of the arguments and
+// receiver. Error results are exempt — errors manufactured by well-behaved
+// callees describe their inputs through the sink catalog's own functions,
+// which are checked at construction inside the callee when its source is
+// part of the module, and stdlib errors do not embed caller byte slices.
+func (fa *funcAnalysis) defaultCallResults(sig *types.Signature, call *ast.CallExpr) []taintVal {
+	var t taintVal
+	for _, a := range call.Args {
+		t.join(fa.taintOf(a))
+	}
+	if recv := receiverArg(fa.pkg.Info, call); recv != nil {
+		t.join(fa.taintOf(recv))
+	}
+	n := 1
+	if sig != nil {
+		n = sig.Results().Len()
+	}
+	out := make([]taintVal, n)
+	for i := range out {
+		if sig != nil && isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// resolveSummaryVal translates a callee-relative taint value into the
+// caller's frame by substituting each parameter bit with the taint of the
+// argument expressions feeding it.
+func (fa *funcAnalysis) resolveSummaryVal(tv taintVal, fn *types.Func, call *ast.CallExpr) taintVal {
+	out := taintVal{secret: tv.secret, why: tv.why}
+	for i := 0; i < 64; i++ {
+		if tv.params&bit(i) == 0 {
+			continue
+		}
+		for _, arg := range argsForParam(fa.pkg.Info, fn, call, i) {
+			out.join(fa.taintOf(arg))
+		}
+	}
+	return out
+}
+
+func (fa *funcAnalysis) isSanitizer(fn *types.Func) bool {
+	if fa.eng.sec.sanitizers[fn] {
+		return true
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "crypto/subtle"
+}
+
+// processCall applies a call's side effects — sink checks, escape checks,
+// paramOut propagation, sanitizer kills — exactly once per AST visit.
+func (fa *funcAnalysis) processCall(call *ast.CallExpr) {
+	kind, fn, builtin := classifyCall(fa.pkg.Info, call)
+	switch kind {
+	case callBuiltin:
+		switch builtin.Name() {
+		case "copy":
+			if len(call.Args) == 2 {
+				fa.store(call.Args[0], fa.taintOf(call.Args[1]), call.Pos(), true)
+			}
+		case "clear":
+			if len(call.Args) == 1 {
+				fa.kill(call.Args[0], call.End())
+			}
+		}
+		return
+	case callConversion:
+		return
+	case callStatic:
+		if fa.isSanitizer(fn) {
+			// Annotated sanitizers scrub their byte-slice arguments (the
+			// zeroize pattern). The implicit crypto/subtle sanitizers only
+			// neutralize results; they do not modify arguments.
+			if fa.eng.sec.sanitizers[fn] {
+				for _, a := range call.Args {
+					if typ := fa.pkg.Info.TypeOf(a); typ != nil && isSliceOrPtr(typ) {
+						fa.kill(a, call.End())
+					}
+				}
+			}
+			return
+		}
+		if sink := catalogSink(fn); sink != "" {
+			for _, a := range call.Args {
+				fa.checkSinkArg(a, sink)
+			}
+			return
+		}
+		if sum, ok := fa.eng.summaries[fn]; ok {
+			fa.applySummary(fn, sum, call)
+			return
+		}
+		fa.unknownCallEffects(call)
+	default: // callDynamic
+		if sink := fa.writerSink(call); sink != "" {
+			for _, a := range call.Args {
+				fa.checkSinkArg(a, sink)
+			}
+			return
+		}
+		fa.unknownCallEffects(call)
+	}
+}
+
+// checkSinkArg reports concrete secrets reaching a sink and records symbolic
+// (parameter-borne) flows in the summary so callers inherit the finding.
+func (fa *funcAnalysis) checkSinkArg(arg ast.Expr, sink string) {
+	t := fa.taintOf(arg)
+	if t.secret {
+		fa.reportLeak(arg, fmt.Sprintf("secret value (%s) reaches %s", t.why, sink))
+	}
+	for i := 0; i < 64; i++ {
+		if t.params&bit(i) != 0 {
+			if _, ok := fa.sum.sinks[i]; !ok {
+				fa.sum.sinks[i] = sink
+				fa.changed = true
+			}
+		}
+	}
+}
+
+// applySummary propagates a module callee's summary into this frame.
+func (fa *funcAnalysis) applySummary(fn *types.Func, sum *taintSummary, call *ast.CallExpr) {
+	chain := func(desc string) string { return fn.Name() + " → " + desc }
+	for i, desc := range sum.sinks {
+		for _, arg := range argsForParam(fa.pkg.Info, fn, call, i) {
+			t := fa.taintOf(arg)
+			if t.secret {
+				fa.reportLeak(arg, fmt.Sprintf("secret value (%s) reaches %s", t.why, chain(desc)))
+			}
+			for j := 0; j < 64; j++ {
+				if t.params&bit(j) != 0 {
+					if _, ok := fa.sum.sinks[j]; !ok {
+						fa.sum.sinks[j] = chain(desc)
+						fa.changed = true
+					}
+				}
+			}
+		}
+	}
+	for i, desc := range sum.escapes {
+		for _, arg := range argsForParam(fa.pkg.Info, fn, call, i) {
+			t := fa.taintOf(arg)
+			if t.secret {
+				fa.reportLeak(arg, fmt.Sprintf("secret value (%s) escapes into %s via %s", t.why, desc, fn.Name()))
+			}
+			for j := 0; j < 64; j++ {
+				if t.params&bit(j) != 0 {
+					if _, ok := fa.sum.escapes[j]; !ok {
+						fa.sum.escapes[j] = chain(desc)
+						fa.changed = true
+					}
+				}
+			}
+		}
+	}
+	for i, tv := range sum.paramOut {
+		if tv.empty() {
+			continue
+		}
+		resolved := fa.resolveSummaryVal(tv, fn, call)
+		for _, arg := range argsForParam(fa.pkg.Info, fn, call, i) {
+			fa.store(arg, resolved, call.Pos(), true)
+		}
+	}
+}
+
+// unknownCallEffects is the conservative model for bodies the analysis
+// cannot see (stdlib, interface dispatch, function values): the join of all
+// inputs flows into every mutable argument and the receiver. This is what
+// carries taint through io.Reader.Read into the destination buffer and
+// through bytes.Buffer.Write into the buffer, without a catalog of stdlib
+// mutators.
+func (fa *funcAnalysis) unknownCallEffects(call *ast.CallExpr) {
+	var t taintVal
+	for _, a := range call.Args {
+		t.join(fa.taintOf(a))
+	}
+	recv := receiverArg(fa.pkg.Info, call)
+	if recv != nil {
+		t.join(fa.taintOf(recv))
+	}
+	if t.empty() {
+		return
+	}
+	// Package-level roots are exempt: the common shape is a read-only
+	// global table (a crc32.Table, a cipher sbox) passed alongside secret
+	// data, and an unseen callee writing its input into a caller-supplied
+	// global would be pathological. Module functions that really retain an
+	// argument have bodies, and their real summaries catch it.
+	for _, a := range call.Args {
+		if typ := fa.pkg.Info.TypeOf(a); typ != nil && isSliceOrPtr(typ) {
+			if root := fa.rootObj(a); root != nil && fa.isPkgVar(root) {
+				continue
+			}
+			fa.store(a, t, call.Pos(), true)
+		}
+	}
+	if recv != nil {
+		if typ := fa.pkg.Info.TypeOf(recv); typ != nil && isSliceOrPtr(typ) {
+			if root := fa.rootObj(recv); root != nil && fa.isPkgVar(root) {
+				return
+			}
+			fa.store(recv, t, call.Pos(), true)
+		}
+	}
+}
+
+// isSliceOrPtr reports whether a call argument of this type is mutable by
+// the callee. Interfaces are deliberately excluded: treating every interface
+// argument as an out-parameter would, e.g., taint the net.Addr passed
+// alongside a secret payload in WriteTo and then flag innocent
+// "write to %v failed" errors.
+func isSliceOrPtr(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}
+
+// writerSink recognizes dynamic method calls that are really writes to the
+// process's standard streams: os.Stdout.Write(...), os.Stderr.WriteString(...).
+func (fa *funcAnalysis) writerSink(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	v, ok := fa.pkg.Info.Uses[recv.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return ""
+	}
+	if v.Name() == "Stdout" || v.Name() == "Stderr" {
+		return "os." + v.Name()
+	}
+	return ""
+}
+
+// catalogSink names the observational side doors: any function that turns
+// its arguments into operator-visible text, an error value, or an obs
+// series/trace slot.
+func catalogSink(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "fmt":
+		switch name {
+		case "Errorf", "Sprintf", "Sprint", "Sprintln",
+			"Fprintf", "Fprint", "Fprintln",
+			"Printf", "Print", "Println",
+			"Appendf", "Append", "Appendln":
+			return "fmt." + name
+		}
+	case "errors":
+		if name == "New" {
+			return "errors.New"
+		}
+	case "log":
+		switch {
+		case strings.HasPrefix(name, "Print"),
+			strings.HasPrefix(name, "Fatal"),
+			strings.HasPrefix(name, "Panic"),
+			name == "Output":
+			return "log." + name
+		}
+	case "os":
+		// os.WriteFile etc. persist bytes outside the process.
+		if name == "WriteFile" {
+			return "os.WriteFile"
+		}
+	}
+	// The module's own observability surfaces, matched by path suffix so the
+	// catalog works for both the real module and fixture loads.
+	if strings.HasSuffix(pkg.Path(), "internal/obs") {
+		switch recvTypeName(fn) {
+		case "Trace":
+			if name == "Record" {
+				return "obs trace event"
+			}
+		case "Registry":
+			switch name {
+			case "Counter", "Gauge", "Histogram":
+				return "obs metric label"
+			}
+		}
+	}
+	return ""
+}
+
+// recvTypeName returns the bare name of fn's receiver type, or "".
+func recvTypeName(fn *types.Func) string {
+	recv := funcSig(fn).Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// reportLeak emits one diagnostic per (position, message), honoring the
+// zeroize pattern: a flow whose single source variable was scrubbed (clear()
+// or a //remicss:sanitizer call) before this use, and not re-tainted since,
+// is suppressed.
+func (fa *funcAnalysis) reportLeak(at ast.Expr, msg string) {
+	if fa.mp == nil {
+		return
+	}
+	if root := fa.rootObj(at); root != nil {
+		if k, ok := fa.killedAt[root]; ok && k < at.Pos() && fa.taintedAt[root] <= k {
+			if !fa.eng.sec.secretType(root.Type()) {
+				return
+			}
+		}
+	}
+	key := fmt.Sprintf("%d:%s", at.Pos(), msg)
+	if fa.reported[key] {
+		return
+	}
+	fa.reported[key] = true
+	fa.mp.Reportf(fa.pkg.Fset, at.Pos(), "%s", msg)
+}
+
+func (fa *funcAnalysis) report(pos token.Pos, msg string) {
+	if fa.mp == nil {
+		return
+	}
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if fa.reported[key] {
+		return
+	}
+	fa.reported[key] = true
+	fa.mp.Reportf(fa.pkg.Fset, pos, "%s", msg)
+}

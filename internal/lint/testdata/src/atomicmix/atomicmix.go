@@ -1,0 +1,58 @@
+// Package atomicmix is the golden fixture for the mixed-access-discipline
+// analyzer: any field or package variable touched through sync/atomic
+// anywhere must be touched through sync/atomic everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n  uint64
+	ok uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.n // want `n is accessed with sync/atomic at .* but plainly here`
+}
+
+func (c *counter) loadOK() uint64 {
+	return atomic.LoadUint64(&c.ok)
+}
+
+func (c *counter) reset() {
+	c.ok = 0 // want `ok is accessed with sync/atomic at .* but plainly here`
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.ok = 1 //lint:allow atomicmix initialization precedes publication of the pointer
+	return c
+}
+
+var hits uint64
+
+func bump() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func snapshot() uint64 {
+	return hits // want `hits is accessed with sync/atomic at .* but plainly here`
+}
+
+// typedCounter is the negative case: typed atomics carry the discipline in
+// the type system, so their fields never mix.
+type typedCounter struct {
+	n atomic.Uint64
+}
+
+func (t *typedCounter) inc() uint64 {
+	return t.n.Add(1)
+}
+
+func stale() int {
+	v := 1 //lint:allow atomicmix nothing here mixes disciplines // want `lint:allow atomicmix directive suppresses no diagnostic`
+	return v
+}

@@ -1,0 +1,19 @@
+// Package dep supplies a lock-bearing type from another package so the
+// fixture can prove the acquisition graph crosses package boundaries.
+package dep
+
+import "sync"
+
+// Gauge exposes its mutex so callers in other packages can acquire it
+// directly, and Bump acquires it internally — two routes into the same
+// lock class.
+type Gauge struct {
+	Mu sync.Mutex
+	n  int
+}
+
+func (g *Gauge) Bump() {
+	g.Mu.Lock()
+	g.n++
+	g.Mu.Unlock()
+}

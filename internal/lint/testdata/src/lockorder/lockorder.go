@@ -1,0 +1,84 @@
+// Package lockorder is the golden fixture for the lock-acquisition graph
+// analyzer: a direct two-lock cycle, a cycle mediated by a call into another
+// package, a dynamic call under a held lock, and a self-deadlock through a
+// helper, plus the negative cases the timeline model must not confuse.
+package lockorder
+
+import (
+	"sync"
+
+	"lockorder/dep"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// --- direct cycle: A.mu → B.mu in one function, B.mu → A.mu in another ---
+
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order cycle: B.mu acquired while A.mu is held`
+	b.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order cycle: A.mu acquired while B.mu is held`
+	a.mu.Unlock()
+}
+
+// --- cross-package cycle, one side mediated by a call summary ---
+
+func chargeCallee(a *A, g *dep.Gauge) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g.Bump() // want `lock order cycle: Gauge.Mu acquired via call to Bump while A.mu is held`
+}
+
+func reverseOrder(a *A, g *dep.Gauge) {
+	g.Mu.Lock()
+	defer g.Mu.Unlock()
+	a.mu.Lock() // want `lock order cycle: A.mu acquired while Gauge.Mu is held`
+	a.mu.Unlock()
+}
+
+// --- dynamic calls under a held lock ---
+
+func callback(a *A, f func()) {
+	a.mu.Lock()
+	f() // want `dynamic call f while holding A.mu`
+	a.mu.Unlock()
+}
+
+func callbackAllowed(a *A, f func()) {
+	a.mu.Lock()
+	f() //lint:allow lockorder fixture exercises a sanctioned callback under lock
+	a.mu.Unlock()
+}
+
+// --- self-deadlock through a helper ---
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func double(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockA(a) // want `call to lockA acquires A.mu, which is already held here: self-deadlock`
+}
+
+// --- negative: a spawned goroutine is its own timeline ---
+
+func spawn(a *A, b *B) {
+	a.mu.Lock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}()
+	a.mu.Unlock()
+}

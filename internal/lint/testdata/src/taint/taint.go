@@ -1,0 +1,120 @@
+// Package taint is the golden fixture for the interprocedural secret-taint
+// analyzer. The annotated source lives one package down in taint/vault; every
+// finding here therefore proves propagation across a package boundary, and
+// the trace-event case proves it through two call hops on top.
+package taint
+
+import (
+	"crypto/subtle"
+	"fmt"
+
+	"remicss/internal/obs"
+
+	"taint/vault"
+)
+
+// --- the seeded leak: secret bytes into a trace event payload, two hops ---
+
+// emit is the inner hop: its second parameter flows into the obs trace sink,
+// so its summary carries sinks[v] = "obs trace event".
+func emit(tr *obs.Trace, v int64) {
+	tr.Record(obs.EventSymbolDelivered, 0, 0, 0, v)
+}
+
+// probe is the cross-package hop: its result derives from vault.Box's
+// annotated field through Export's summary.
+func probe(b *vault.Box) int64 {
+	return int64(b.Export()[0])
+}
+
+func relay(tr *obs.Trace, b *vault.Box) {
+	emit(tr, probe(b)) // want `secret value .* reaches emit → obs trace event`
+}
+
+// --- direct sinks ---
+
+func describe(b *vault.Box) error {
+	return fmt.Errorf("box contents %x", b.Export()) // want `secret value .* reaches fmt.Errorf`
+}
+
+// describeTag is clean: Label projects an unannotated scalar field, which
+// the projection barrier keeps out of the taint set.
+func describeTag(b *vault.Box) error {
+	return fmt.Errorf("box tag %d", b.Label())
+}
+
+// --- summary fixed-point convergence: mutually recursive propagators ---
+
+func bounce(n int, b []byte) []byte {
+	if n == 0 {
+		return b
+	}
+	return rebound(n-1, b)
+}
+
+func rebound(n int, b []byte) []byte {
+	return bounce(n-1, b)
+}
+
+func recurse(b *vault.Box) {
+	fmt.Println(bounce(3, b.Export())) // want `secret value .* reaches fmt.Println`
+}
+
+// --- escapes into retained structures ---
+
+type cache struct {
+	last []byte
+	held []byte //remicss:secret
+}
+
+func (c *cache) remember(b *vault.Box) {
+	c.last = b.Export() // want `escapes into unannotated field taint.cache.last`
+	c.held = b.Export() // clean: the destination is inside the secret perimeter
+}
+
+// fill writes secret bytes through its parameter via a reslice alias, so its
+// summary records paramOut[dst]; keepFilled then retains the filled buffer.
+func fill(dst []byte, b *vault.Box) {
+	buf := dst[2:]
+	copy(buf, b.Export())
+}
+
+type sink2 struct {
+	kept []byte
+}
+
+func keepFilled(s *sink2, b *vault.Box) {
+	tmp := make([]byte, 16)
+	fill(tmp, b)
+	s.kept = tmp // want `escapes into unannotated field taint.sink2.kept`
+}
+
+// --- sanitizer patterns ---
+
+// zeroize scrubs a buffer in place.
+//
+//remicss:sanitizer
+func zeroize(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func scrubbed(b *vault.Box) string {
+	tmp := make([]byte, 4)
+	copy(tmp, b.Export())
+	zeroize(tmp)
+	return fmt.Sprintf("%x", tmp) // clean: tmp was zeroized before formatting
+}
+
+// matches is clean: crypto/subtle declassifies, a comparison outcome is not
+// a byte leak.
+func matches(b *vault.Box, guess []byte) bool {
+	return subtle.ConstantTimeCompare(b.Export(), guess) == 1
+}
+
+// --- suppression ---
+
+func debugDump(b *vault.Box) {
+	fmt.Printf("vault: %x\n", b.Export()) //lint:allow taint fixture exercises suppressing a deliberate debug dump
+}

@@ -1,0 +1,21 @@
+// Package vault is the fixture's secret-bearing package: the annotated field
+// lives here, one package removed from the code that leaks it, so every
+// finding in the parent package proves cross-package propagation.
+package vault
+
+type Box struct {
+	Plain []byte //remicss:secret
+	Tag   int
+}
+
+// Export hands out the raw secret bytes; its summary must mark the result as
+// secret-derived so callers in other packages inherit the taint.
+func (b *Box) Export() []byte {
+	return b.Plain
+}
+
+// Label is clean: the projection barrier keeps unannotated scalar fields of
+// a secret-bearing struct out of the taint set.
+func (b *Box) Label() int {
+	return b.Tag
+}

@@ -68,7 +68,7 @@ type Session struct {
 	retx      int64
 	delaySum  time.Duration
 
-	pending [][]byte // symbols waiting for window space
+	pending [][]byte // symbols waiting for window space //remicss:secret
 }
 
 type symbolState struct {
@@ -121,6 +121,8 @@ func NewSession(cfg Config) (*Session, error) {
 func (s *Session) Engine() *netem.Engine { return s.eng }
 
 // Send submits one symbol; it queues if the window is full.
+//
+//remicss:secret payload
 func (s *Session) Send(payload []byte) error {
 	if len(s.inFlight) >= s.cfg.Window {
 		s.pending = append(s.pending, payload)

@@ -377,7 +377,7 @@ func (t *HealthTracker) Usable(ch int) bool {
 	if c.state != HealthDown {
 		return true
 	}
-	now := t.clock()
+	now := t.clock() //lint:allow lockorder clock is an injected time source; implementations are pure reads and take no locks
 	if now < c.nextProbe {
 		return false
 	}

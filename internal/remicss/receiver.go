@@ -168,8 +168,8 @@ type recvShard struct {
 	// pending maps seq -> reassembly entry; order tracks insertion order
 	// for timeout scans and memory-pressure eviction (oldest first within
 	// the shard).
-	pending map[uint64]*list.Element // guarded by mu
-	order   *list.List               // guarded by mu
+	pending map[uint64]*list.Element // guarded by mu //remicss:secret
+	order   *list.List               // guarded by mu //remicss:secret
 
 	// closed remembers recently evicted tombstones (symbols already
 	// delivered or failed) so a straggler share cannot reopen its
@@ -210,7 +210,7 @@ type entry struct {
 	shares  []sharing.Share
 	haveIdx uint32 // bitmask of share indices held
 	done    bool
-	spare   [][]byte // freelist of share payload buffers
+	spare   [][]byte // freelist of share payload buffers //remicss:secret
 }
 
 // entryPool recycles reassembly entries (and, through their spare lists,
@@ -366,7 +366,7 @@ func (r *Receiver) HandleDatagram(buf []byte) {
 	// contract — one callback at a time — across shards.
 	r.deliverMu.Lock()
 	r.trace.Record(obs.EventSymbolDelivered, -1, now, pkt.Seq, int64(delay))
-	r.cfg.OnSymbol(pkt.Seq, secret, delay)
+	r.cfg.OnSymbol(pkt.Seq, secret, delay) //lint:allow lockorder deliverMu exists to serialize the delivery callback; OnSymbol must not reenter the receiver
 	r.deliverMu.Unlock()
 }
 

@@ -139,8 +139,8 @@ type Cache struct {
 	gen   atomic.Uint64
 
 	mu     sync.Mutex // serializes the miss path
-	solver *lp.Solver
-	basis  *lp.Basis
+	solver *lp.Solver // guarded by mu
+	basis  *lp.Basis  // guarded by mu
 
 	hits       *obs.Counter
 	misses     *obs.Counter
@@ -269,6 +269,8 @@ func (c *Cache) OptimizeLarge(s core.Set, kappa, mu float64, obj Objective) (cor
 // warmSolve runs one program through the retained solver and classifies the
 // outcome as a warm or cold tier, advancing the warm counters. Caller holds
 // c.mu.
+//
+//lint:allow mutexguard both call sites (resolve, OptimizeLarge) hold c.mu across the call
 func (c *Cache) warmSolve(prob lp.Problem) (lp.Solution, SolveTier, error) {
 	sol, basis, err := c.solver.WarmSolve(c.basis, prob)
 	if err != nil {

@@ -40,7 +40,7 @@ var (
 // holds one field element per secret byte.
 type Share struct {
 	X byte
-	Y []byte
+	Y []byte //remicss:secret
 }
 
 // Bytes serializes the share as X followed by Y, the format used by Split's
@@ -69,7 +69,7 @@ func ParseShare(b []byte) (Share, error) {
 // makes splitting deterministic under test. The zero value is not usable;
 // construct with NewSplitter.
 type Splitter struct {
-	rand io.Reader
+	rand io.Reader //remicss:secret
 }
 
 // NewSplitter returns a Splitter drawing coefficients from r. If r is nil,
@@ -85,6 +85,8 @@ func NewSplitter(r io.Reader) *Splitter {
 // Shares are assigned x-coordinates 1..m.
 //
 // Requirements: 1 <= k <= m <= MaxShares and len(secret) > 0.
+//
+//remicss:secret secret
 func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
 	return sp.SplitInto(secret, k, m, nil)
 }
@@ -113,6 +115,7 @@ func (sp *Splitter) Split(secret []byte, k, m int) ([]Share, error) {
 // exactly.
 //
 //remicss:noalloc
+//remicss:secret secret
 func (sp *Splitter) SplitInto(secret []byte, k, m int, shares []Share) ([]Share, error) {
 	if k < 1 || m < k || m > MaxShares {
 		return nil, fmt.Errorf("%w: k=%d, m=%d", ErrInvalidParams, k, m)
@@ -137,6 +140,9 @@ func (sp *Splitter) SplitInto(secret []byte, k, m int, shares []Share) ([]Share,
 
 	// random holds coefficients 1..k-1 as contiguous slices of len(secret)
 	// bytes each: coefficient j for secret byte b is random[(j-1)*L+b].
+	// Together with any share the coefficients determine the secret, so the
+	// scratch block is inside the secret perimeter.
+	//remicss:secret
 	random := make([]byte, (k-1)*len(secret)) //lint:allow noalloc one scratch block per split; documented as SplitInto's only allocation
 	if _, err := io.ReadFull(sp.rand, random); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRandomShortfall, err)
@@ -145,7 +151,7 @@ func (sp *Splitter) SplitInto(secret []byte, k, m int, shares []Share) ([]Share,
 	// Horner coefficient blocks, highest degree first, constant term (the
 	// secret) last: c_{k-1} = random[(k-2)L:(k-1)L], ..., c_1 = random[0:L].
 	// A fixed-size array keeps this off the heap (k <= MaxShares).
-	var blocks [MaxShares][]byte
+	var blocks [MaxShares][]byte //remicss:secret
 	nb := 0
 	for j := k - 1; j >= 1; j-- {
 		blocks[nb] = random[(j-1)*L : j*L]
@@ -258,6 +264,8 @@ func CombineInto(dst []byte, shares []Share) ([]byte, error) {
 }
 
 // Split is a convenience wrapper using crypto/rand for coefficients.
+//
+//remicss:secret secret
 func Split(secret []byte, k, m int) ([]Share, error) {
 	return NewSplitter(nil).Split(secret, k, m)
 }

@@ -63,6 +63,8 @@ func (a *Authenticated) tag(index int, data []byte) []byte {
 }
 
 // Split implements Scheme: inner split, then tag each share.
+//
+//remicss:secret secret
 func (a *Authenticated) Split(secret []byte, k, m int) ([]Share, error) {
 	shares, err := a.inner.Split(secret, k, m)
 	if err != nil {

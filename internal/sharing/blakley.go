@@ -25,6 +25,8 @@ func NewBlakley(r io.Reader) *Blakley {
 func (b *Blakley) Name() string { return "blakley" }
 
 // Split implements Scheme.
+//
+//remicss:secret secret
 func (b *Blakley) Split(secret []byte, k, m int) ([]Share, error) {
 	if err := validate(secret, k, m); err != nil {
 		return nil, err

@@ -42,6 +42,7 @@ var (
 // back to Split otherwise, so callers can target the into API uniformly.
 //
 //remicss:noalloc
+//remicss:secret secret
 func SplitInto(s Scheme, secret []byte, k, m int, shares []Share) ([]Share, error) {
 	if is, ok := s.(IntoScheme); ok {
 		return is.SplitSharesInto(secret, k, m, shares)

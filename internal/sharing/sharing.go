@@ -40,7 +40,7 @@ var (
 // (0-based, unique per split).
 type Share struct {
 	Index int
-	Data  []byte
+	Data  []byte //remicss:secret
 }
 
 // Scheme is a (k, m) threshold secret sharing scheme. Split produces m
@@ -100,6 +100,8 @@ func NewShamir(r io.Reader) *Shamir {
 func (s *Shamir) Name() string { return "shamir" }
 
 // Split implements Scheme.
+//
+//remicss:secret secret
 func (s *Shamir) Split(secret []byte, k, m int) ([]Share, error) {
 	if err := validate(secret, k, m); err != nil {
 		return nil, err
@@ -159,6 +161,8 @@ func NewXOR(r io.Reader) *XOR {
 func (x *XOR) Name() string { return "xor" }
 
 // Split implements Scheme.
+//
+//remicss:secret secret
 func (x *XOR) Split(secret []byte, k, m int) ([]Share, error) {
 	if err := validate(secret, k, m); err != nil {
 		return nil, err
@@ -214,6 +218,8 @@ type Replication struct{}
 func (Replication) Name() string { return "replication" }
 
 // Split implements Scheme.
+//
+//remicss:secret secret
 func (Replication) Split(secret []byte, k, m int) ([]Share, error) {
 	if err := validate(secret, k, m); err != nil {
 		return nil, err
@@ -279,6 +285,8 @@ func (a *Auto) pick(k, m int) Scheme {
 }
 
 // Split implements Scheme.
+//
+//remicss:secret secret
 func (a *Auto) Split(secret []byte, k, m int) ([]Share, error) {
 	if err := validate(secret, k, m); err != nil {
 		return nil, err

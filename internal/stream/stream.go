@@ -84,7 +84,7 @@ type Orderer struct {
 	window  int
 
 	next    uint64
-	pending map[uint64][]byte
+	pending map[uint64][]byte //remicss:secret
 
 	delivered, skipped, duplicate, stale int64
 }

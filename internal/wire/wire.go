@@ -66,7 +66,7 @@ type SharePacket struct {
 	// transmitted.
 	SentAt int64
 	// Payload is the share data.
-	Payload []byte
+	Payload []byte //remicss:secret
 }
 
 // Validate checks internal consistency of the parameters.

@@ -17,7 +17,7 @@ type SessionConfig struct {
 	Params Params
 	// Key, when non-empty, enables per-share HMAC authentication; both ends
 	// must use the same key.
-	Key []byte
+	Key []byte //remicss:secret
 	// Rates paces each channel in packets per second (nil or 0 entries mean
 	// unpaced). Sender side only.
 	Rates []float64
@@ -153,6 +153,8 @@ func Connect(addrs []string, cfg SessionConfig) (*Client, error) {
 // ErrBackpressure if the channels stay saturated. Safe to call from
 // multiple goroutines: concurrent calls split and encode in parallel and
 // serialize only on the chooser and on each channel's socket.
+//
+//remicss:secret payload
 func (c *Client) Send(payload []byte) error {
 	const (
 		retries = 50
