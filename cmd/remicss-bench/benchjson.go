@@ -67,7 +67,7 @@ func newBenchSender(k, m int) (*remicss.Sender, error) {
 		links[i] = discardLink{}
 	}
 	return remicss.NewSender(remicss.SenderConfig{
-		Scheme:  sharing.NewAuto(nil), // crypto/rand: safe for concurrent Send
+		Scheme:  sharing.NewAuto(nil), // shared DRBG pool: safe for concurrent Send
 		Chooser: remicss.FixedChooser{K: k, Mask: 1<<uint(m) - 1},
 		Clock:   func() time.Duration { return 0 },
 		Metrics: obs.NewRegistry(),

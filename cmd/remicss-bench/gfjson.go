@@ -1,0 +1,184 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"remicss/internal/drbg"
+	"remicss/internal/gf256"
+	"remicss/internal/sharing"
+)
+
+// gfPassBytes is the block size for the raw kernel and randomness
+// benchmarks: larger than any single share the protocol splits, small
+// enough to stay cache-resident so the numbers measure the kernel, not
+// memory bandwidth.
+const gfPassBytes = 4096
+
+// gfBenchReport is the BENCH_gf.json schema. The split_baseline legs
+// replicate the pre-kernel configuration — scalar table arithmetic with
+// coefficients and pads read straight from crypto/rand — so split_speedup
+// measures exactly what the kernel dispatch plus the pooled DRBG bought on
+// this host, in one self-contained file.
+type gfBenchReport struct {
+	Schema       string       `json:"schema"`
+	GOOS         string       `json:"goos"`
+	GOARCH       string       `json:"goarch"`
+	NumCPU       int          `json:"num_cpu"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	PayloadBytes int          `json:"payload_bytes"`
+	Kernel       string       `json:"kernel"`  // kernel selected at init on this host
+	Kernels      []string     `json:"kernels"` // every kernel compiled in, fastest first
+	Benchmarks   []benchEntry `json:"benchmarks"`
+	// SplitSpeedup maps each scheme path to MB/s(split_fast) over
+	// MB/s(split_baseline): the end-to-end single-caller throughput gain of
+	// the selected kernel plus drbg.Shared over scalar tables plus
+	// crypto/rand.
+	SplitSpeedup map[string]float64 `json:"split_speedup"`
+}
+
+// toSizedEntry converts a result whose per-op byte count differs from the
+// 1400-byte pipeline payload toEntry assumes.
+func toSizedEntry(name string, r testing.BenchmarkResult, bytesPerOp int) benchEntry {
+	e := toEntry(name, r)
+	if e.NsPerOp > 0 {
+		e.MBPerSec = float64(bytesPerOp) * e.OpsPerSec / 1e6
+	}
+	return e
+}
+
+// runGFBenchJSON measures the GF(2^8) kernel tiers and the randomness
+// sources, then the headline end-to-end comparison: SplitSharesInto
+// throughput for the xor-3of3 and shamir-3of5 paths in the baseline
+// configuration (scalar kernel, crypto/rand) against the shipped one
+// (selected kernel, shared DRBG pool), and writes the report to path.
+func runGFBenchJSON(path string) error {
+	report := gfBenchReport{
+		Schema:       "remicss-bench-gf/v1",
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		PayloadBytes: benchPayloadBytes,
+		Kernel:       gf256.KernelName(),
+		Kernels:      gf256.Kernels(),
+		SplitSpeedup: make(map[string]float64),
+	}
+
+	// One fused multiply-accumulate pass per compiled kernel, the inner
+	// loop of every Shamir split.
+	dst := make([]byte, gfPassBytes)
+	src := make([]byte, gfPassBytes)
+	for i := range src {
+		src[i] = byte(i*31 + 7)
+	}
+	for _, name := range gf256.Kernels() {
+		restore, err := gf256.ForceKernel(name)
+		if err != nil {
+			return err
+		}
+		gf256.AddMulSlice(dst, src, 7) // warm lazy tables outside the timer
+		res := benchRunner(func(b *testing.B) {
+			b.SetBytes(gfPassBytes)
+			for i := 0; i < b.N; i++ {
+				gf256.AddMulSlice(dst, src, 7)
+			}
+		})
+		restore()
+		report.Benchmarks = append(report.Benchmarks,
+			toSizedEntry("gf_addmul_pass/"+name, res, gfPassBytes))
+	}
+
+	// The randomness sources behind the pads and coefficients: the OS
+	// CSPRNG the schemes used to block on, and the pooled DRBG they draw
+	// from now.
+	buf := make([]byte, gfPassBytes)
+	for _, tc := range []struct {
+		name string
+		r    io.Reader
+	}{
+		{"crypto_rand", rand.Reader},
+		{"drbg_pool", drbg.Shared},
+	} {
+		r := tc.r
+		res := benchRunner(func(b *testing.B) {
+			b.SetBytes(gfPassBytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := io.ReadFull(r, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks,
+			toSizedEntry("rand_read_4KiB/"+tc.name, res, gfPassBytes))
+	}
+
+	// End to end: single-caller SplitSharesInto over recycled share
+	// buffers at the pipeline payload size.
+	secret := make([]byte, benchPayloadBytes)
+	for i := range secret {
+		secret[i] = byte(i * 13)
+	}
+	for _, tc := range []struct {
+		name   string
+		k, m   int
+		scheme func(r io.Reader) sharing.IntoScheme
+	}{
+		{"xor-3of3", 3, 3, func(r io.Reader) sharing.IntoScheme { return sharing.NewXOR(r) }},
+		{"shamir-3of5", 3, 5, func(r io.Reader) sharing.IntoScheme { return sharing.NewShamir(r) }},
+	} {
+		k, m := tc.k, tc.m
+		split := func(s sharing.IntoScheme) testing.BenchmarkResult {
+			var shares []sharing.Share
+			return benchRunner(func(b *testing.B) {
+				b.SetBytes(benchPayloadBytes)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					var err error
+					shares, err = s.SplitSharesInto(secret, k, m, shares)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+
+		restore, err := gf256.ForceKernel("scalar")
+		if err != nil {
+			return err
+		}
+		base := toEntry("split_baseline/"+tc.name, split(tc.scheme(rand.Reader)))
+		restore()
+		report.Benchmarks = append(report.Benchmarks, base)
+
+		fast := toEntry("split_fast/"+tc.name, split(tc.scheme(nil)))
+		report.Benchmarks = append(report.Benchmarks, fast)
+
+		if base.MBPerSec > 0 {
+			report.SplitSpeedup[tc.name] = fast.MBPerSec / base.MBPerSec
+		}
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	for _, e := range report.Benchmarks {
+		fmt.Printf("%-36s %12.0f ops/s %10.1f MB/s %4d allocs/op\n",
+			e.Name, e.OpsPerSec, e.MBPerSec, e.AllocsPerOp)
+	}
+	for name, s := range report.SplitSpeedup {
+		fmt.Printf("split speedup (%s, kernel=%s): %.2fx\n", name, report.Kernel, s)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

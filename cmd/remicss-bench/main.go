@@ -44,6 +44,7 @@ func run() error {
 		metrics   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /trace, and pprof on this address while the sweep runs (e.g. 127.0.0.1:9090)")
 		benchJSON = flag.String("bench-json", "", "run the parallel share-pipeline benchmarks instead of figures and write the JSON report to this path (e.g. BENCH_pipeline.json)")
 		schedJSON = flag.String("schedule-json", "", "run the schedule solve-path benchmarks (cold/warm/cached tiers at n=5,50,200) instead of figures and write the JSON report to this path (e.g. BENCH_schedule.json)")
+		gfJSON    = flag.String("gf-json", "", "run the GF(2^8) kernel and DRBG benchmarks (per-kernel passes, randomness sources, baseline-vs-fast split throughput) instead of figures and write the JSON report to this path (e.g. BENCH_gf.json)")
 		chaosArg  = flag.String("chaos", "", "replay a chaos scenario instead of figures: a builtin name, a scenario-script path, or 'list'")
 		chaosJSON = flag.String("chaos-json", "", "with -chaos, also write the degradation report as JSON to this path")
 	)
@@ -54,6 +55,9 @@ func run() error {
 	}
 	if *schedJSON != "" {
 		return runScheduleJSON(*schedJSON)
+	}
+	if *gfJSON != "" {
+		return runGFBenchJSON(*gfJSON)
 	}
 	if *chaosArg != "" {
 		chaosSeed := *seed

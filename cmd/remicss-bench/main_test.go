@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"remicss/internal/bench"
+	"remicss/internal/gf256"
 )
 
 // tinyCfg keeps the smoke runs in the milliseconds range.
@@ -104,6 +105,77 @@ func TestBenchJSONReport(t *testing.T) {
 	for _, path := range []string{"replication-1of3", "xor-3of3"} {
 		if report.ParallelSpeedup[path] <= 0 {
 			t.Errorf("no parallel speedup recorded for %s", path)
+		}
+	}
+}
+
+// TestGFBenchJSONReport exercises the -gf-json wiring end to end with the
+// benchmark runner stubbed, covering the per-kernel pass entries, both
+// randomness sources, and the baseline/fast split legs plus their speedup
+// arithmetic without a seconds-long measurement.
+func TestGFBenchJSONReport(t *testing.T) {
+	saved := benchRunner
+	benchRunner = func(f func(b *testing.B)) testing.BenchmarkResult {
+		res := testing.Benchmark(func(b *testing.B) {
+			if b.N > 16 {
+				b.Skip("stubbed runner stops after the first rounds")
+			}
+			f(b)
+		})
+		if res.N == 0 {
+			res = testing.BenchmarkResult{N: 16, T: 16 * time.Microsecond}
+		}
+		return res
+	}
+	defer func() { benchRunner = saved }()
+
+	path := filepath.Join(t.TempDir(), "BENCH_gf.json")
+	if err := runGFBenchJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report gfBenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "remicss-bench-gf/v1" {
+		t.Errorf("schema %q", report.Schema)
+	}
+	if report.Kernel != gf256.KernelName() {
+		t.Errorf("kernel %q, selected %q", report.Kernel, gf256.KernelName())
+	}
+	want := map[string]bool{
+		"rand_read_4KiB/crypto_rand": false,
+		"rand_read_4KiB/drbg_pool":   false,
+		"split_baseline/xor-3of3":    false,
+		"split_fast/xor-3of3":        false,
+		"split_baseline/shamir-3of5": false,
+		"split_fast/shamir-3of5":     false,
+	}
+	for _, name := range gf256.Kernels() {
+		want["gf_addmul_pass/"+name] = false
+	}
+	for _, e := range report.Benchmarks {
+		if _, ok := want[e.Name]; !ok {
+			t.Errorf("unexpected benchmark %q", e.Name)
+			continue
+		}
+		want[e.Name] = true
+		if e.Ops <= 0 || e.NsPerOp <= 0 || e.MBPerSec <= 0 {
+			t.Errorf("%s: degenerate result %+v", e.Name, e)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("benchmark %q missing from report", name)
+		}
+	}
+	for _, scheme := range []string{"xor-3of3", "shamir-3of5"} {
+		if report.SplitSpeedup[scheme] <= 0 {
+			t.Errorf("no split speedup recorded for %s", scheme)
 		}
 	}
 }

@@ -24,12 +24,12 @@
 package blakley
 
 import (
-	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
 	"math/bits"
 
+	"remicss/internal/drbg"
 	"remicss/internal/gf256"
 )
 
@@ -82,13 +82,14 @@ func ParseShare(b []byte, k int) (Share, error) {
 
 // Splitter draws hyperplanes from a randomness source.
 type Splitter struct {
-	rand io.Reader
+	rand io.Reader //remicss:secret
 }
 
-// NewSplitter returns a Splitter; nil r means crypto/rand.
+// NewSplitter returns a Splitter; nil r means the shared DRBG pool
+// (crypto/rand-seeded; see internal/drbg).
 func NewSplitter(r io.Reader) *Splitter {
 	if r == nil {
-		r = rand.Reader
+		r = drbg.Shared
 	}
 	return &Splitter{rand: r}
 }
@@ -313,7 +314,7 @@ func invert(m [][]byte) ([][]byte, error) {
 	return out, nil
 }
 
-// Split is a convenience wrapper using crypto/rand.
+// Split is a convenience wrapper drawing randomness from the shared DRBG pool.
 //
 //remicss:secret secret
 func Split(secret []byte, k, m int) ([]Share, error) {

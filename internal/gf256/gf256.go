@@ -61,6 +61,22 @@ func buildTables() {
 			row[a] = expTable[logC+int(logTable[a])]
 		}
 	}
+	// nibTab[c] is the split-nibble product table pair for c: entries [0,16)
+	// hold c*n for the low nibble n, entries [16,32) hold c*(n<<4) for the
+	// high nibble n. Multiplication is GF(2)-linear, so
+	// c*b = nibTab[c][b&0x0f] ^ nibTab[c][16+(b>>4)] — the vpshufb idiom the
+	// word-sliced and vector kernels build on. Derived from mulTable, so it
+	// must be built after the rows above.
+	for c := 0; c < 256; c++ {
+		row := &mulTable[c]
+		for n := 0; n < 16; n++ {
+			nibTab[c][n] = row[n]
+			nibTab[c][16+n] = row[n<<4]
+		}
+	}
+	// The kernel for the general slice paths is selected exactly once, after
+	// every table it may capture is final.
+	selectKernel()
 }
 
 // Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse, so

@@ -4,9 +4,14 @@ package gf256
 // because the Shamir hot path (internal/shamir) evaluates one polynomial per
 // secret byte at the same x for every share — restructured block-wise, that
 // is a handful of constant-times-slice passes instead of len(secret)·k
-// scalar Horner steps. Each kernel multiplies through a precomputed 256-byte
-// row of the full multiplication table, so the inner loop is one table load
-// and one XOR per byte with no log/exp indirection and no zero branches.
+// scalar Horner steps.
+//
+// Each public entry point validates its arguments, handles the degenerate
+// multipliers (0 and 1), and hands the general case to the kernel selected
+// at init (see kernel_select.go): the scalar 64 KiB-product-table loop, the
+// pure-Go word-sliced kernel processing 8 bytes per step, or the amd64
+// vpshufb kernel working from the 16-entry nibble tables. All kernels are
+// bit-identical by construction and pinned so by the differential tests.
 //
 // All kernels require len(src) == len(dst) (or len(acc) == len(coeff)) and
 // panic otherwise: a length mismatch is a programming error in the caller's
@@ -14,8 +19,15 @@ package gf256
 
 // mulTable[c] is the multiplication-by-c row: mulTable[c][a] = c*a. 64 KiB,
 // built by initTables (gf256.go) together with the log/exp tables it is
-// derived from; row access makes the slice kernels branch-free per byte.
+// derived from; row access makes the scalar kernel branch-free per byte and
+// seeds the nibble and wide tables the faster kernels use.
 var mulTable [256][256]byte
+
+// nibTab[c] packs the two 16-entry nibble product tables for c — low-nibble
+// products in [0,16), high-nibble products in [16,32) — the layout the
+// vector kernel broadcasts into registers (one vpshufb per nibble) and the
+// wide-table builder expands from. 8 KiB total, built by initTables.
+var nibTab [256][32]byte
 
 // MulSlice sets dst[i] = c * src[i] for every i. dst and src may be the
 // same slice (in-place scaling); partial overlap is not supported.
@@ -33,10 +45,7 @@ func MulSlice(dst, src []byte, c byte) {
 		copy(dst, src)
 		return
 	}
-	row := &mulTable[c]
-	for i, s := range src {
-		dst[i] = row[s]
-	}
+	kern.Load().mulPass(dst, src, c)
 }
 
 // AddMulSlice accumulates dst[i] ^= c * src[i] for every i — the
@@ -55,10 +64,7 @@ func AddMulSlice(dst, src []byte, c byte) {
 		AddSlice(dst, src)
 		return
 	}
-	row := &mulTable[c]
-	for i, s := range src {
-		dst[i] ^= row[s]
-	}
+	kern.Load().addMulPass(dst, src, c)
 }
 
 // MulAddSlice performs one block Horner step: acc[i] = acc[i]*x ^ coeff[i]
@@ -75,10 +81,7 @@ func MulAddSlice(acc []byte, x byte, coeff []byte) {
 		copy(acc, coeff)
 		return
 	}
-	row := &mulTable[x]
-	for i, a := range acc {
-		acc[i] = row[a] ^ coeff[i]
-	}
+	kern.Load().mulXorPass(acc, coeff, x)
 }
 
 // HornerBlock evaluates the window [lo, hi) of a batch of polynomials at x,
@@ -90,9 +93,8 @@ func MulAddSlice(acc []byte, x byte, coeff []byte) {
 // for i in [lo, hi). Iterating lo over L1-sized tiles and, inside each tile,
 // over every evaluation point keeps the coefficient tile cache-resident while
 // all shares are produced from it — the loop-interchanged form of calling
-// MulAddSlice once per block over the full length. The inner loop is 8-way
-// unrolled: one table load and one XOR per byte against a single pinned row.
-// dst must not overlap any block; every block must cover [lo, hi).
+// MulAddSlice once per block over the full length. dst must not overlap any
+// block; every block must cover [lo, hi).
 //
 //remicss:noalloc
 func HornerBlock(dst []byte, x byte, blocks [][]byte, lo, hi int) {
@@ -113,35 +115,33 @@ func HornerBlock(dst []byte, x byte, blocks [][]byte, lo, hi int) {
 		return
 	}
 	copy(dst[lo:hi], blocks[0][lo:hi])
-	row := &mulTable[x]
+	step := kern.Load().mulXorPass
 	for _, c := range blocks[1:] {
-		d, s := dst[lo:hi], c[lo:hi]
-		n := len(d) &^ 7
-		for i := 0; i < n; i += 8 {
-			d[i+0] = row[d[i+0]] ^ s[i+0]
-			d[i+1] = row[d[i+1]] ^ s[i+1]
-			d[i+2] = row[d[i+2]] ^ s[i+2]
-			d[i+3] = row[d[i+3]] ^ s[i+3]
-			d[i+4] = row[d[i+4]] ^ s[i+4]
-			d[i+5] = row[d[i+5]] ^ s[i+5]
-			d[i+6] = row[d[i+6]] ^ s[i+6]
-			d[i+7] = row[d[i+7]] ^ s[i+7]
-		}
-		for i := n; i < len(d); i++ {
-			d[i] = row[d[i]] ^ s[i]
-		}
+		step(dst[lo:hi], c[lo:hi], x)
 	}
 }
 
-// AddSlice accumulates dst[i] ^= src[i] for every i (field addition is XOR).
-// The loop is written over 8-byte words where possible; dst and src must not
-// partially overlap (dst == src zeroes dst, which is correct but useless).
+// AddSlice accumulates dst[i] ^= src[i] for every i (field addition is XOR)
+// through the active kernel's xor pass — the XOR scheme folds every pad
+// through here, so the pass is as hot as the multiply kernels. dst and src
+// must not partially overlap (dst == src zeroes dst, which is correct but
+// useless).
 //
 //remicss:noalloc
 func AddSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: AddSlice length mismatch")
 	}
+	if len(dst) == 0 {
+		return
+	}
+	kern.Load().xorPass(dst, src)
+}
+
+// scalarXorPass accumulates dst[i] ^= src[i] in 8-byte groups.
+//
+//remicss:noalloc
+func scalarXorPass(dst, src []byte) {
 	n := len(dst) &^ 7
 	for i := 0; i < n; i += 8 {
 		// The compiler merges each 8-byte group into single word loads and
@@ -157,5 +157,51 @@ func AddSlice(dst, src []byte) {
 	}
 	for i := n; i < len(dst); i++ {
 		dst[i] ^= src[i]
+	}
+}
+
+// Scalar kernel passes: one 64 KiB-table load and one XOR per byte against a
+// pinned 256-byte row, 8-way unrolled. This is the reference implementation
+// every other kernel is differentially pinned against, and the fallback when
+// neither the word-sliced nor the vector path is selected.
+
+// scalarMulPass sets dst[i] = c*src[i]; c is never 0 or 1 here.
+//
+//remicss:noalloc
+func scalarMulPass(dst, src []byte, c byte) {
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// scalarAddMulPass accumulates dst[i] ^= c*src[i]; c is never 0 or 1 here.
+//
+//remicss:noalloc
+func scalarAddMulPass(dst, src []byte, c byte) {
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// scalarMulXorPass computes acc[i] = x*acc[i] ^ coeff[i]; x is never 0 here.
+//
+//remicss:noalloc
+func scalarMulXorPass(acc, coeff []byte, x byte) {
+	row := &mulTable[x]
+	n := len(acc) &^ 7
+	for i := 0; i < n; i += 8 {
+		acc[i+0] = row[acc[i+0]] ^ coeff[i+0]
+		acc[i+1] = row[acc[i+1]] ^ coeff[i+1]
+		acc[i+2] = row[acc[i+2]] ^ coeff[i+2]
+		acc[i+3] = row[acc[i+3]] ^ coeff[i+3]
+		acc[i+4] = row[acc[i+4]] ^ coeff[i+4]
+		acc[i+5] = row[acc[i+5]] ^ coeff[i+5]
+		acc[i+6] = row[acc[i+6]] ^ coeff[i+6]
+		acc[i+7] = row[acc[i+7]] ^ coeff[i+7]
+	}
+	for i := n; i < len(acc); i++ {
+		acc[i] = row[acc[i]] ^ coeff[i]
 	}
 }

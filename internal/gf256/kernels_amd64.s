@@ -1,0 +1,148 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// GF(2^8) multiply-by-constant kernels, vpshufb idiom: for each source byte
+// b, the product c*b = lo[b & 0x0f] ^ hi[b >> 4], where lo and hi are the
+// 16-entry nibble product tables for c (nibTab[c][0:16] and nibTab[c][16:32]
+// in Go). Both tables are broadcast across the two 128-bit lanes of a YMM
+// register, so one VPSHUFB resolves 32 lookups. Callers guarantee n is a
+// positive multiple of 32.
+//
+// Register plan (identical in all three routines):
+//   Y4  low-nibble product table, both lanes
+//   Y5  high-nibble product table, both lanes
+//   Y6  0x0f byte mask
+//   Y0  data / low nibbles / low products
+//   Y1  high nibbles / high products
+
+DATA nibMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+0x10(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+0x18(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $32
+
+// func gfMulAVX2(tab *byte, dst, src *byte, n int)
+// dst[i] = c*src[i]
+TEXT ·gfMulAVX2(SB), NOSPLIT, $0-32
+	MOVQ tab+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 16(AX), Y5
+	VMOVDQU nibMask<>(SB), Y6
+
+mulLoop:
+	VMOVDQU (SI), Y0
+	VPSRLQ  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y0
+	VPSHUFB Y1, Y5, Y1
+	VPXOR   Y1, Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulLoop
+
+	VZEROUPPER
+	RET
+
+// func gfAddMulAVX2(tab *byte, dst, src *byte, n int)
+// dst[i] ^= c*src[i]
+TEXT ·gfAddMulAVX2(SB), NOSPLIT, $0-32
+	MOVQ tab+0(FP), AX
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 16(AX), Y5
+	VMOVDQU nibMask<>(SB), Y6
+
+addMulLoop:
+	VMOVDQU (SI), Y0
+	VPSRLQ  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y0
+	VPSHUFB Y1, Y5, Y1
+	VPXOR   Y1, Y0, Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     addMulLoop
+
+	VZEROUPPER
+	RET
+
+// func gfMulXorAVX2(tab *byte, acc, coeff *byte, n int)
+// acc[i] = x*acc[i] ^ coeff[i]  (the fused Horner step)
+TEXT ·gfMulXorAVX2(SB), NOSPLIT, $0-32
+	MOVQ tab+0(FP), AX
+	MOVQ acc+8(FP), DI
+	MOVQ coeff+16(FP), SI
+	MOVQ n+24(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 16(AX), Y5
+	VMOVDQU nibMask<>(SB), Y6
+
+mulXorLoop:
+	VMOVDQU (DI), Y0
+	VPSRLQ  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y0
+	VPSHUFB Y1, Y5, Y1
+	VPXOR   Y1, Y0, Y0
+	VPXOR   (SI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulXorLoop
+
+	VZEROUPPER
+	RET
+
+// func gfXorAVX2(dst, src *byte, n int)
+// dst[i] ^= src[i] — plain field addition, no nibble tables. Callers
+// guarantee n is a positive multiple of 32.
+TEXT ·gfXorAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+xorLoop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     xorLoop
+
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,236 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The kernel differential wall: every compiled kernel (scalar, word, and
+// the platform vector kernel when the machine has it) is pinned against the
+// table-free shift-and-add reference for every multiplier, at lengths and
+// alignments chosen to hit each kernel's edges — the 32-byte vector groups,
+// the 8-byte word steps, and their ragged scalar tails — through sub-slice
+// offsets that deny the kernels any alignment guarantees.
+
+// diffLengths crosses the 8-byte word stride and the 32-byte vector stride
+// boundaries on both sides, plus MTU-order sizes the protocol actually
+// splits.
+var diffLengths = []int{1, 2, 3, 7, 8, 9, 31, 32, 33, 63, 64, 65, 100, 255, 256, 1000, 1400}
+
+// withKernels runs f once per available kernel with that kernel forced.
+func withKernels(t *testing.T, f func(t *testing.T, name string)) {
+	t.Helper()
+	for _, name := range Kernels() {
+		restore, err := ForceKernel(name)
+		if err != nil {
+			t.Fatalf("ForceKernel(%q): %v", name, err)
+		}
+		ok := t.Run(name, func(t *testing.T) { f(t, name) })
+		restore()
+		if !ok {
+			return
+		}
+	}
+}
+
+func TestKernelsMatchReferenceAllMultipliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const off = 5 // deliberately misaligned backing windows
+	src := randomBytes(rng, off+diffLengths[len(diffLengths)-1])
+	withKernels(t, func(t *testing.T, name string) {
+		for c := 0; c < 256; c++ {
+			n := diffLengths[c%len(diffLengths)]
+			s := src[off : off+n]
+			want := make([]byte, n)
+			for i := range want {
+				want[i] = refMul(byte(c), s[i])
+			}
+
+			dst := make([]byte, off+n)
+			MulSlice(dst[off:], s, byte(c))
+			if !bytes.Equal(dst[off:], want) {
+				t.Fatalf("MulSlice c=%#02x n=%d diverges from reference", c, n)
+			}
+
+			acc := make([]byte, off+n)
+			copy(acc[off:], src[:n])
+			wantAcc := make([]byte, n)
+			for i := range wantAcc {
+				wantAcc[i] = src[i] ^ want[i]
+			}
+			AddMulSlice(acc[off:], s, byte(c))
+			if !bytes.Equal(acc[off:], wantAcc) {
+				t.Fatalf("AddMulSlice c=%#02x n=%d diverges from reference", c, n)
+			}
+		}
+	})
+}
+
+func TestKernelsXorMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	withKernels(t, func(t *testing.T, name string) {
+		for _, n := range diffLengths {
+			for off := 0; off < 4; off++ {
+				dst := randomBytes(rng, off+n)[off:]
+				src := randomBytes(rng, off+n)[off:]
+				want := make([]byte, n)
+				for i := range want {
+					want[i] = dst[i] ^ src[i]
+				}
+				AddSlice(dst, src)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("AddSlice n=%d off=%d diverges from reference", n, off)
+				}
+			}
+		}
+	})
+}
+
+func TestKernelsHornerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	withKernels(t, func(t *testing.T, name string) {
+		for _, n := range diffLengths {
+			for off := 0; off < 8; off++ {
+				top := randomBytes(rng, off+n)[off:]
+				mid := randomBytes(rng, off+n)[off:]
+				con := randomBytes(rng, off+n)[off:]
+				x := byte(rng.Intn(255) + 1)
+
+				want := make([]byte, n)
+				for i := 0; i < n; i++ {
+					want[i] = refMul(refMul(top[i], x)^mid[i], x) ^ con[i]
+				}
+
+				acc := make([]byte, off+n)[off:]
+				HornerBlock(acc, x, [][]byte{top, mid, con}, 0, n)
+				if !bytes.Equal(acc, want) {
+					t.Fatalf("HornerBlock x=%#02x n=%d off=%d diverges from reference", x, n, off)
+				}
+
+				// Tiled evaluation over sub-ranges must agree with the
+				// full-range pass: this is the window walk the splitter does.
+				tiled := make([]byte, off+n)[off:]
+				for lo := 0; lo < n; lo += 13 {
+					hi := lo + 13
+					if hi > n {
+						hi = n
+					}
+					HornerBlock(tiled, x, [][]byte{top, mid, con}, lo, hi)
+				}
+				if !bytes.Equal(tiled, want) {
+					t.Fatalf("tiled HornerBlock x=%#02x n=%d off=%d diverges", x, n, off)
+				}
+			}
+		}
+	})
+}
+
+func TestKernelsCrossAgree(t *testing.T) {
+	// Belt over the reference braces: all kernels on the same inputs,
+	// byte-identical outputs, including the fused MulAddSlice entry point.
+	kernels := Kernels()
+	if len(kernels) < 2 {
+		t.Skipf("only %v compiled in", kernels)
+	}
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range diffLengths {
+		src := randomBytes(rng, n)
+		add := randomBytes(rng, n)
+		c := byte(rng.Intn(254) + 2)
+		type out struct{ mul, mulAdd []byte }
+		results := make(map[string]out, len(kernels))
+		for _, name := range kernels {
+			restore, err := ForceKernel(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mul := make([]byte, n)
+			MulSlice(mul, src, c)
+			mulAdd := make([]byte, n)
+			copy(mulAdd, add)
+			MulAddSlice(mulAdd, c, src)
+			restore()
+			results[name] = out{mul, mulAdd}
+		}
+		base := results[kernels[0]]
+		for _, name := range kernels[1:] {
+			if !bytes.Equal(results[name].mul, base.mul) {
+				t.Fatalf("MulSlice: %s and %s disagree at n=%d c=%#02x", kernels[0], name, n, c)
+			}
+			if !bytes.Equal(results[name].mulAdd, base.mulAdd) {
+				t.Fatalf("MulAddSlice: %s and %s disagree at n=%d c=%#02x", kernels[0], name, n, c)
+			}
+		}
+	}
+}
+
+func TestForceKernelErrors(t *testing.T) {
+	if _, err := ForceKernel("no-such-kernel"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	active := KernelName()
+	restore, err := ForceKernel("scalar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KernelName() != "scalar" {
+		t.Fatalf("forced scalar, active %s", KernelName())
+	}
+	restore()
+	if KernelName() != active {
+		t.Fatalf("restore landed on %s, want %s", KernelName(), active)
+	}
+}
+
+func TestAllKernelsDoNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	dst := randomBytes(rng, 1400)
+	src := randomBytes(rng, 1400)
+	withKernels(t, func(t *testing.T, name string) {
+		// Warm per-multiplier state (the word kernel builds its wide table
+		// lazily on first use of a multiplier).
+		MulSlice(dst, src, 3)
+		AddMulSlice(dst, src, 3)
+		MulAddSlice(dst, 3, src)
+		for what, f := range map[string]func(){
+			"MulSlice":    func() { MulSlice(dst, src, 3) },
+			"AddMulSlice": func() { AddMulSlice(dst, src, 3) },
+			"MulAddSlice": func() { MulAddSlice(dst, 3, src) },
+			"AddSlice":    func() { AddSlice(dst, src) },
+		} {
+			if avg := testing.AllocsPerRun(100, f); avg != 0 {
+				t.Fatalf("%s allocates %.1f times per call on the %s kernel", what, avg, name)
+			}
+		}
+	})
+}
+
+func BenchmarkKernelPass(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	for _, name := range Kernels() {
+		restore, err := ForceKernel(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		AddMulSlice(dst, src, 7) // warm lazy tables outside the timer
+		b.Run(fmt.Sprintf("addmul-4KiB/%s", name), func(b *testing.B) {
+			b.SetBytes(int64(len(dst)))
+			for i := 0; i < b.N; i++ {
+				AddMulSlice(dst, src, 7)
+			}
+		})
+		b.Run(fmt.Sprintf("xor-4KiB/%s", name), func(b *testing.B) {
+			b.SetBytes(int64(len(dst)))
+			for i := 0; i < b.N; i++ {
+				AddSlice(dst, src)
+			}
+		})
+		restore()
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// Targets without a vector kernel: the table still lists one so selection
+// and ForceKernel treat every platform uniformly, but it never reports
+// available, so init falls through to the word-sliced or scalar path.
+
+var vectorKernel = kernel{name: "avx2"}
+
+func vectorAvailable() bool { return false }

@@ -1,0 +1,134 @@
+package gf256
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// The word-sliced kernel: the portable fast path. The two 16-entry nibble
+// tables for a multiplier c (nibTab[c]) are expanded once, lazily, into a
+// wide table w where w[v] = c*(v&0xff) | (c*(v>>8))<<8 — the product of two
+// adjacent bytes per entry. Each 8-byte step then loads one uint64, slices
+// it into four 16-bit lanes, and resolves each lane with a single table
+// load: four loads per 8 bytes instead of eight, which measures ~1.4× the
+// scalar kernel on current x86 (and is the fastest path available off
+// amd64). The expansion costs 128 KiB per distinct multiplier, cached for
+// the process lifetime; split paths only ever use the share x-coordinates
+// (1..m, m ≤ 32 links), and combine paths the Lagrange weights, so the
+// resident set stays small in practice and is bounded by 32 MiB in the
+// adversarial worst case of all 255 multipliers.
+
+var wordKernel = kernel{
+	name:       "word",
+	mulPass:    wordMulPass,
+	addMulPass: wordAddMulPass,
+	mulXorPass: wordMulXorPass,
+	xorPass:    wordXorPass,
+}
+
+var (
+	// wideRows[c] is the lazily built wide product table for c. Entries are
+	// immutable once published; the atomic pointer is the publication.
+	wideRows [256]atomic.Pointer[[1 << 16]uint16]
+	// wideBuildMu serializes builds so a race to a missing row does not
+	// build it twice.
+	wideBuildMu sync.Mutex
+)
+
+// wideRow returns the wide product table for c, building and publishing it
+// on first use. The build allocates 128 KiB exactly once per multiplier; the
+// noalloc kernels reach this only through the pass functions, whose
+// steady-state (row already published) performs no allocation.
+func wideRow(c byte) *[1 << 16]uint16 {
+	if t := wideRows[c].Load(); t != nil {
+		return t
+	}
+	wideBuildMu.Lock()
+	defer wideBuildMu.Unlock()
+	if t := wideRows[c].Load(); t != nil {
+		return t
+	}
+	t := new([1 << 16]uint16)
+	row := &mulTable[c]
+	for hi := 0; hi < 256; hi++ {
+		base := uint16(row[hi]) << 8
+		w := t[hi<<8 : (hi+1)<<8]
+		for lo := 0; lo < 256; lo++ {
+			w[lo] = base | uint16(row[lo])
+		}
+	}
+	wideRows[c].Store(t)
+	return t
+}
+
+// wordMulPass sets dst[i] = c*src[i], 8 bytes per step; c ∉ {0, 1}.
+//
+//remicss:noalloc
+func wordMulPass(dst, src []byte, c byte) {
+	t := wideRow(c)
+	le := binary.LittleEndian
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		w := le.Uint64(src[i:])
+		le.PutUint64(dst[i:],
+			uint64(t[w&0xffff])|uint64(t[w>>16&0xffff])<<16|
+				uint64(t[w>>32&0xffff])<<32|uint64(t[w>>48])<<48)
+	}
+	row := &mulTable[c]
+	for i := n; i < len(dst); i++ {
+		dst[i] = row[src[i]]
+	}
+}
+
+// wordAddMulPass accumulates dst[i] ^= c*src[i]; c ∉ {0, 1}.
+//
+//remicss:noalloc
+func wordAddMulPass(dst, src []byte, c byte) {
+	t := wideRow(c)
+	le := binary.LittleEndian
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		w := le.Uint64(src[i:])
+		le.PutUint64(dst[i:], le.Uint64(dst[i:])^
+			(uint64(t[w&0xffff])|uint64(t[w>>16&0xffff])<<16|
+				uint64(t[w>>32&0xffff])<<32|uint64(t[w>>48])<<48))
+	}
+	row := &mulTable[c]
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// wordXorPass accumulates dst[i] ^= src[i] one uint64 at a time.
+//
+//remicss:noalloc
+func wordXorPass(dst, src []byte) {
+	le := binary.LittleEndian
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		le.PutUint64(dst[i:], le.Uint64(dst[i:])^le.Uint64(src[i:]))
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// wordMulXorPass computes acc[i] = x*acc[i] ^ coeff[i]; x ≠ 0.
+//
+//remicss:noalloc
+func wordMulXorPass(acc, coeff []byte, x byte) {
+	t := wideRow(x)
+	le := binary.LittleEndian
+	n := len(acc) &^ 7
+	for i := 0; i < n; i += 8 {
+		w := le.Uint64(acc[i:])
+		le.PutUint64(acc[i:], le.Uint64(coeff[i:])^
+			(uint64(t[w&0xffff])|uint64(t[w>>16&0xffff])<<16|
+				uint64(t[w>>32&0xffff])<<32|uint64(t[w>>48])<<48))
+	}
+	row := &mulTable[x]
+	for i := n; i < len(acc); i++ {
+		acc[i] = row[acc[i]] ^ coeff[i]
+	}
+}

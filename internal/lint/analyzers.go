@@ -12,6 +12,7 @@ func DefaultAnalyzers(modulePath string) []*Analyzer {
 		modulePath + "/internal/shamir":  true,
 		modulePath + "/internal/sharing": true,
 		modulePath + "/internal/blakley": true,
+		modulePath + "/internal/drbg":    true,
 		modulePath + "/internal/wire":    true,
 	}
 	return []*Analyzer{

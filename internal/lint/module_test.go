@@ -60,8 +60,8 @@ func TestModuleIsClean(t *testing.T) {
 // an invariant genuinely retired) lower the baseline here in the same
 // change, with the reasoning in the commit.
 var annotationBaseline = map[string]int{
-	"//remicss:secret":  33,
-	"//remicss:noalloc": 37,
+	"//remicss:secret":  39,
+	"//remicss:noalloc": 51,
 	"guarded by ":       20,
 }
 

@@ -89,8 +89,8 @@ func TestConcurrentSendAndIngest(t *testing.T) {
 			}
 
 			// The sender's scheme must use concurrency-safe randomness
-			// (crypto/rand via nil): splits run outside the sender lock, so
-			// a seeded *math/rand.Rand here would race.
+			// (the shared DRBG pool via nil): splits run outside the sender
+			// lock, so a seeded *math/rand.Rand here would race.
 			sender, err := NewSender(SenderConfig{
 				Scheme:  sharing.NewAuto(nil),
 				Chooser: FixedChooser{K: tc.k, Mask: 1<<channels - 1},

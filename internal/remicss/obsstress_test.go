@@ -57,8 +57,9 @@ func TestObservabilityStress(t *testing.T) {
 		chans[i] = &chanLink{ch: make(chan []byte, 64)}
 		links[i] = chans[i]
 	}
-	// nil scheme randomness = crypto/rand: splits run outside the sender
-	// lock, so a seeded *math/rand.Rand would race across Send goroutines.
+	// nil scheme randomness = the shared DRBG pool: splits run outside the
+	// sender lock, so a seeded *math/rand.Rand would race across Send
+	// goroutines.
 	snd, err := NewSender(SenderConfig{
 		Scheme:  sharing.NewAuto(nil),
 		Chooser: FixedChooser{K: 2, Mask: 1<<channels - 1},

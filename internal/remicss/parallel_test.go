@@ -253,7 +253,7 @@ func TestSendBatchConcurrentStress(t *testing.T) {
 		links[i] = chans[i]
 	}
 	snd, err := NewSender(SenderConfig{
-		Scheme:  sharing.NewAuto(nil), // crypto/rand: concurrency-safe outside the lock
+		Scheme:  sharing.NewAuto(nil), // DRBG pool: concurrency-safe outside the lock
 		Chooser: FixedChooser{K: 2, Mask: 1<<channels - 1},
 		Clock:   func() time.Duration { return 0 },
 		Metrics: reg,
@@ -334,7 +334,7 @@ func parallelBenchSender(b *testing.B, k, m int) *Sender {
 		links[i] = nullLink{}
 	}
 	s, err := NewSender(SenderConfig{
-		Scheme:  sharing.NewAuto(nil), // crypto/rand: safe for concurrent Send
+		Scheme:  sharing.NewAuto(nil), // DRBG pool: safe for concurrent Send
 		Chooser: FixedChooser{K: k, Mask: 1<<uint(m) - 1},
 		Clock:   func() time.Duration { return 0 },
 		Metrics: obs.NewRegistry(),

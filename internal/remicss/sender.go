@@ -34,7 +34,7 @@ type SenderStats struct {
 type SenderConfig struct {
 	// Scheme splits symbols into shares. Splits run concurrently outside
 	// the sender's locks, so the scheme — including its randomness source —
-	// must be safe for concurrent use. The default crypto/rand source is;
+	// must be safe for concurrent use. The default drbg.Shared pool is;
 	// a seeded *math/rand.Rand (deterministic tests) is not, and such
 	// senders must be driven from a single goroutine.
 	Scheme sharing.Scheme
@@ -117,7 +117,7 @@ func newSenderMetrics(reg *obs.Registry, n int) senderMetrics {
 //
 // Because splits now run concurrently, the configured Scheme — including
 // its randomness source — must be safe for concurrent use. The default
-// crypto/rand.Reader is; a seeded *math/rand.Rand (test determinism) is
+// drbg.Shared pool is; a seeded *math/rand.Rand (test determinism) is
 // not, and such senders must be driven from one goroutine.
 type Sender struct {
 	cfg    SenderConfig

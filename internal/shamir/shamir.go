@@ -11,11 +11,11 @@
 package shamir
 
 import (
-	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
 
+	"remicss/internal/drbg"
 	"remicss/internal/gf256"
 )
 
@@ -73,10 +73,12 @@ type Splitter struct {
 }
 
 // NewSplitter returns a Splitter drawing coefficients from r. If r is nil,
-// crypto/rand.Reader is used.
+// the process-wide DRBG pool (drbg.Shared) is used: a batched AES-CTR
+// generator seeded from — and periodically reseeded from — crypto/rand,
+// several times faster than reading the kernel per split.
 func NewSplitter(r io.Reader) *Splitter {
 	if r == nil {
-		r = rand.Reader
+		r = drbg.Shared
 	}
 	return &Splitter{rand: r}
 }
@@ -145,7 +147,10 @@ func (sp *Splitter) SplitInto(secret []byte, k, m int, shares []Share) ([]Share,
 	//remicss:secret
 	random := make([]byte, (k-1)*len(secret)) //lint:allow noalloc one scratch block per split; documented as SplitInto's only allocation
 	if _, err := io.ReadFull(sp.rand, random); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRandomShortfall, err)
+		// Both sentinels stay in the chain: callers classify the failure
+		// as a shamir shortfall or drill to the source's own sentinel
+		// (e.g. drbg.ErrEntropy) with errors.Is alike.
+		return nil, fmt.Errorf("%w: %w", ErrRandomShortfall, err)
 	}
 	L := len(secret)
 	// Horner coefficient blocks, highest degree first, constant term (the
@@ -263,7 +268,8 @@ func CombineInto(dst []byte, shares []Share) ([]byte, error) {
 	return dst, nil
 }
 
-// Split is a convenience wrapper using crypto/rand for coefficients.
+// Split is a convenience wrapper drawing coefficients from the shared DRBG
+// pool (crypto/rand-seeded; see internal/drbg).
 //
 //remicss:secret secret
 func Split(secret []byte, k, m int) ([]Share, error) {

@@ -16,7 +16,7 @@ type Blakley struct {
 }
 
 // NewBlakley returns a Blakley scheme drawing randomness from r (nil means
-// crypto/rand).
+// the shared DRBG pool, drbg.Shared).
 func NewBlakley(r io.Reader) *Blakley {
 	return &Blakley{splitter: blakley.NewSplitter(r)}
 }

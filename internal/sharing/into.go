@@ -3,10 +3,10 @@ package sharing
 import (
 	"bytes"
 	"crypto/hmac"
-	"crypto/rand"
 	"fmt"
 	"io"
 
+	"remicss/internal/drbg"
 	"remicss/internal/gf256"
 	"remicss/internal/shamir"
 )
@@ -180,7 +180,7 @@ func (x *XOR) SplitSharesInto(secret []byte, k, m int, shares []Share) ([]Share,
 	}
 	r := x.rand
 	if r == nil {
-		r = rand.Reader
+		r = drbg.Shared
 	}
 	shares = growShares(shares, m)
 	for i := range shares {

@@ -18,11 +18,11 @@ package sharing
 
 import (
 	"bytes"
-	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
 
+	"remicss/internal/drbg"
 	"remicss/internal/shamir"
 )
 
@@ -85,13 +85,13 @@ func validateShares(shares []Share, k int) ([]Share, error) {
 }
 
 // Shamir adapts internal/shamir to the Scheme interface. The zero value uses
-// crypto/rand; NewShamir allows injecting a deterministic source.
+// the shared DRBG pool; NewShamir allows injecting a deterministic source.
 type Shamir struct {
 	splitter *shamir.Splitter
 }
 
 // NewShamir returns a Shamir scheme drawing randomness from r (nil means
-// crypto/rand).
+// the shared DRBG pool, drbg.Shared).
 func NewShamir(r io.Reader) *Shamir {
 	return &Shamir{splitter: shamir.NewSplitter(r)}
 }
@@ -146,13 +146,14 @@ func (s *Shamir) Combine(shares []Share, k, m int) ([]byte, error) {
 // and share m-1 is the secret XORed with all pads. It only supports k == m,
 // the MICSS configuration.
 type XOR struct {
-	rand io.Reader
+	rand io.Reader //remicss:secret
 }
 
-// NewXOR returns an XOR scheme drawing pads from r (nil means crypto/rand).
+// NewXOR returns an XOR scheme drawing pads from r (nil means the shared
+// DRBG pool, drbg.Shared).
 func NewXOR(r io.Reader) *XOR {
 	if r == nil {
-		r = rand.Reader
+		r = drbg.Shared
 	}
 	return &XOR{rand: r}
 }
@@ -172,7 +173,7 @@ func (x *XOR) Split(secret []byte, k, m int) ([]Share, error) {
 	}
 	r := x.rand
 	if r == nil {
-		r = rand.Reader
+		r = drbg.Shared
 	}
 	shares := make([]Share, m)
 	acc := make([]byte, len(secret))
@@ -265,7 +266,7 @@ type Auto struct {
 }
 
 // NewAuto returns an Auto scheme drawing randomness from r (nil means
-// crypto/rand).
+// the shared DRBG pool, drbg.Shared).
 func NewAuto(r io.Reader) *Auto {
 	return &Auto{shamir: NewShamir(r), xor: NewXOR(r)}
 }
