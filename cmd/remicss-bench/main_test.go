@@ -10,6 +10,7 @@ import (
 
 	"remicss/internal/bench"
 	"remicss/internal/gf256"
+	"remicss/internal/udptrans"
 )
 
 // tinyCfg keeps the smoke runs in the milliseconds range.
@@ -177,6 +178,88 @@ func TestGFBenchJSONReport(t *testing.T) {
 		if report.SplitSpeedup[scheme] <= 0 {
 			t.Errorf("no split speedup recorded for %s", scheme)
 		}
+	}
+}
+
+// TestGatewayBenchJSONReport exercises the -gateway-json wiring end to end
+// at a reduced scale: a few thousand held sessions and a small multiplexed
+// transfer per compiled batch mode plus the per-session-socket baseline,
+// enough to cover the report structure, the retransmission loop, and the
+// cross-leg byte-identity comparison without the full benchmark's runtime.
+func TestGatewayBenchJSONReport(t *testing.T) {
+	saved := gatewayBenchParams
+	gatewayBenchParams.HoldSessions = 2000
+	gatewayBenchParams.HoldDispatches = 1 << 12
+	gatewayBenchParams.Sessions = 8
+	gatewayBenchParams.PerSession = 32
+	gatewayBenchParams.Channels = 2
+	gatewayBenchParams.Batch = 8
+	gatewayBenchParams.PayloadBytes = 64
+	gatewayBenchParams.Reps = 1
+	gatewayBenchParams.Deadline = 20 * time.Second
+	defer func() { gatewayBenchParams = saved }()
+
+	path := filepath.Join(t.TempDir(), "BENCH_gateway.json")
+	if err := runGatewayJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report gatewayBenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "remicss-bench-gateway/v1" {
+		t.Errorf("schema %q", report.Schema)
+	}
+	if report.Hold.Sessions != 2000 || report.Hold.BytesPerSessionFull <= 0 {
+		t.Errorf("degenerate hold leg: %+v", report.Hold)
+	}
+	if report.Hold.DispatchNsPerOp <= 0 || report.Hold.RegisterNsPerSession <= 0 {
+		t.Errorf("hold timings missing: %+v", report.Hold)
+	}
+	// One gateway leg per compiled batch mode, then the baseline.
+	if len(report.Transfers) != len(udptrans.BatchModes())+1 {
+		t.Fatalf("%d transfer legs, want %d", len(report.Transfers), len(udptrans.BatchModes())+1)
+	}
+	baseline := report.Transfers[len(report.Transfers)-1]
+	if baseline.Leg != "baseline" || baseline.Sockets != 8*2 {
+		t.Errorf("baseline leg malformed: %+v", baseline)
+	}
+	for _, leg := range report.Transfers {
+		if leg.Datagrams != 8*32 || leg.DatagramsPerSec <= 0 {
+			t.Errorf("%s: degenerate transfer %+v", leg.Leg, leg)
+		}
+		if leg.Sends < leg.Datagrams {
+			t.Errorf("%s: %d sends for %d datagrams", leg.Leg, leg.Sends, leg.Datagrams)
+		}
+		if leg.Mismatches != 0 {
+			t.Errorf("%s: %d byte mismatches", leg.Leg, leg.Mismatches)
+		}
+		if leg.DeliveredDigest != report.Transfers[0].DeliveredDigest {
+			t.Errorf("leg %s delivered different bytes than %s", leg.Leg, report.Transfers[0].Leg)
+		}
+		if leg.Leg == "baseline" {
+			continue
+		}
+		if leg.SocketSent <= 0 || leg.SocketRecv <= 0 || leg.BatchWriteCalls <= 0 || leg.BatchReadCalls <= 0 {
+			t.Errorf("%s: kernel-call accounting missing: %+v", leg.Leg, leg)
+		}
+		if leg.Leg == "gateway/portable" && leg.SendSyscallsPerDatagram != 1 {
+			t.Errorf("portable send syscalls/datagram = %v, want exactly 1", leg.SendSyscallsPerDatagram)
+		}
+		if leg.Leg != "gateway/portable" && leg.SendSyscallsPerDatagram >= 1 {
+			t.Errorf("%s send syscalls/datagram = %v, want < 1", leg.Leg, leg.SendSyscallsPerDatagram)
+		}
+	}
+	if !report.Goals.DeliveryIdenticalOK {
+		t.Error("delivery_identical_ok = false")
+	}
+	// The 100k threshold is intentionally not met at test scale.
+	if report.Goals.HoldSessionsOK {
+		t.Error("hold_sessions_ok = true at 2000 sessions")
 	}
 }
 

@@ -1,0 +1,57 @@
+package remicss
+
+import (
+	"remicss/internal/gateway"
+)
+
+// Gateway facade: aliases over internal/gateway so applications can
+// multiplex many independent sessions over one shared pool of UDP sockets
+// — the multi-tenant arrangement where per-session sockets, goroutines,
+// and syscalls would otherwise be the scaling ceiling — without importing
+// internal packages.
+
+// Gateway is the receiving half of a session gateway: a sharded session
+// table over one UDPListener, routing every incoming datagram to its
+// session by the session ID in the v2 wire header. Its Dispatch path is
+// lock-free and copy-free.
+type Gateway = gateway.Server
+
+// GatewayConfig configures a Gateway (shard count, tenant cardinality
+// cap, metrics registry, sessionless fallback for v1 traffic).
+type GatewayConfig = gateway.ServerConfig
+
+// GatewaySession is one registered session: the routing entry datagrams
+// carrying its ID are dispatched to. Close unregisters it.
+type GatewaySession = gateway.Session
+
+// GatewayPool is the sending half of a session gateway: every session's
+// sender shares one socket per channel, and their datagrams reach the
+// kernel in batches (sendmmsg where available).
+type GatewayPool = gateway.Pool
+
+// GatewayPoolConfig configures a GatewayPool (coalescing threshold,
+// pacing, metrics registry).
+type GatewayPoolConfig = gateway.PoolConfig
+
+// Gateway errors.
+var (
+	// ErrGatewayDuplicateSession means Gateway.Register was given a session
+	// ID already in use.
+	ErrGatewayDuplicateSession = gateway.ErrDuplicateSession
+	// ErrGatewayZeroSession means session ID 0 was requested; 0 is the wire
+	// format's "no session" value carried by v1 headers.
+	ErrGatewayZeroSession = gateway.ErrZeroSession
+)
+
+// NewGateway builds a session-routing gateway server. Attach it to a
+// UDPListener to start batched ingest, or feed it datagrams directly via
+// Dispatch.
+func NewGateway(cfg GatewayConfig) *Gateway { return gateway.NewServer(cfg) }
+
+// DialGatewayPool opens one socket per address (the shared channel set)
+// and builds the coalescing send queues over them. Build per-session
+// senders with GatewayPool.NewSender, which stamps every share with the
+// session's wire ID.
+func DialGatewayPool(addrs []string, cfg GatewayPoolConfig) (*GatewayPool, error) {
+	return gateway.DialPool(addrs, cfg)
+}

@@ -1,0 +1,116 @@
+package remicss_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"remicss"
+)
+
+// TestGatewayFacade multiplexes several sessions over one shared socket
+// pool through the root API alone: NewGateway + ListenUDP on the receiving
+// side, DialGatewayPool + per-session senders on the sending side, every
+// session reconstructing exactly its own payloads.
+func TestGatewayFacade(t *testing.T) {
+	listener, err := remicss.ListenUDP([]string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Close()
+
+	gw := remicss.NewGateway(remicss.GatewayConfig{Shards: 16})
+	const sessions = 3
+	const perSession = 8
+	type sessState struct {
+		mu        sync.Mutex
+		delivered map[string]bool
+	}
+	states := make([]*sessState, sessions)
+	for i := range states {
+		st := &sessState{delivered: make(map[string]bool)}
+		states[i] = st
+		recv, err := remicss.NewReceiver(remicss.ReceiverConfig{
+			Scheme: remicss.NewSharingScheme(nil),
+			Clock:  remicss.WallClock,
+			OnSymbol: func(_ uint64, payload []byte, _ time.Duration) {
+				st.mu.Lock()
+				st.delivered[string(payload)] = true
+				st.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gw.Register(uint64(i+1), fmt.Sprintf("tenant-%d", i%2), recv.HandleDatagram); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gw.Attach(listener)
+
+	pool, err := remicss.DialGatewayPool(listener.Addrs(), remicss.GatewayPoolConfig{Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for i := 0; i < sessions; i++ {
+		snd, err := pool.NewSender(remicss.SenderConfig{
+			Scheme:  remicss.NewSharingScheme(nil),
+			Chooser: remicss.FixedChooser{K: 2, Mask: 1<<3 - 1},
+			Clock:   remicss.WallClock,
+		}, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads := make([][]byte, perSession)
+		for j := range payloads {
+			payloads[j] = []byte(fmt.Sprintf("session-%d-payload-%d", i+1, j))
+		}
+		if _, err := snd.SendBatch(payloads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Flush()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for i, st := range states {
+		for {
+			st.mu.Lock()
+			n := len(st.delivered)
+			st.mu.Unlock()
+			if n == perSession {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("session %d delivered %d of %d symbols", i+1, n, perSession)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		st.mu.Lock()
+		for j := 0; j < perSession; j++ {
+			want := fmt.Sprintf("session-%d-payload-%d", i+1, j)
+			if !st.delivered[want] {
+				t.Errorf("session %d missing %q", i+1, want)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// TestGatewayFacadeErrors pins the error aliases: session ID 0 is
+// reserved, duplicate IDs are rejected with the sentinel.
+func TestGatewayFacadeErrors(t *testing.T) {
+	gw := remicss.NewGateway(remicss.GatewayConfig{Shards: 4})
+	handle := func([]byte) {}
+	if _, err := gw.Register(0, "t", handle); !errors.Is(err, remicss.ErrGatewayZeroSession) {
+		t.Errorf("zero-session error = %v, want ErrGatewayZeroSession", err)
+	}
+	if _, err := gw.Register(7, "t", handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Register(7, "t", handle); !errors.Is(err, remicss.ErrGatewayDuplicateSession) {
+		t.Errorf("duplicate error = %v, want ErrGatewayDuplicateSession", err)
+	}
+}

@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"sync"
+
+	"remicss/internal/obs"
+)
+
+// OverflowTenant is the label value under which every tenant beyond the
+// cardinality cap is aggregated. A real tenant literally named "other"
+// shares the bucket.
+const OverflowTenant = "other"
+
+// tenantHandles are the per-tenant series handles a session resolves once
+// at registration.
+type tenantHandles struct {
+	// datagrams is remicss_gateway_datagrams_total{tenant=...}.
+	datagrams *obs.Counter
+	// active is remicss_gateway_sessions_active{tenant=...}.
+	active *obs.Gauge
+}
+
+// tenantSeries hands out per-tenant metric handles with a hard cardinality
+// cap. The first cap distinct tenant names each get their own labeled
+// series; every tenant after that shares the OverflowTenant bucket, and
+// remicss_gateway_tenants_capped_total counts how many were collapsed.
+// Admission is deterministic: whether a tenant owns its series depends
+// only on the order tenants first appear (registration is serialized on
+// mu), and a tenant resolved once keeps the same handles for the server's
+// lifetime — so a restart replays the same admissions given the same
+// registration order.
+type tenantSeries struct {
+	reg *obs.Registry
+	cap int
+
+	mu sync.Mutex
+	// byTenant maps admitted tenant names to their handles. guarded by mu.
+	byTenant map[string]*tenantHandles
+	// capped tracks tenant names already counted against
+	// tenants_capped_total, so a tenant registering many sessions is
+	// counted once. guarded by mu.
+	capped map[string]bool
+
+	other       *tenantHandles
+	cappedTotal *obs.Counter
+}
+
+// newTenantSeries builds the capped per-tenant series set. The overflow
+// bucket is registered eagerly so the series exists (at zero) even before
+// any tenant overflows.
+func newTenantSeries(reg *obs.Registry, capN int) *tenantSeries {
+	return &tenantSeries{
+		reg:      reg,
+		cap:      capN,
+		byTenant: make(map[string]*tenantHandles),
+		capped:   make(map[string]bool),
+		other: &tenantHandles{
+			datagrams: reg.Counter("remicss_gateway_datagrams_total", obs.Label{Key: "tenant", Value: OverflowTenant}),
+			active:    reg.Gauge("remicss_gateway_sessions_active", obs.Label{Key: "tenant", Value: OverflowTenant}),
+		},
+		cappedTotal: reg.Counter("remicss_gateway_tenants_capped_total"),
+	}
+}
+
+// handles resolves the series handles for tenant, admitting it if the cap
+// allows. Not a hot path: sessions resolve handles once at registration.
+func (t *tenantSeries) handles(tenant string) *tenantHandles {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h, ok := t.byTenant[tenant]; ok {
+		return h
+	}
+	if tenant == OverflowTenant || len(t.byTenant) >= t.cap {
+		if !t.capped[tenant] && tenant != OverflowTenant {
+			t.capped[tenant] = true
+			t.cappedTotal.Inc()
+		}
+		return t.other
+	}
+	h := &tenantHandles{
+		datagrams: t.reg.Counter("remicss_gateway_datagrams_total", obs.Label{Key: "tenant", Value: tenant}),
+		active:    t.reg.Gauge("remicss_gateway_sessions_active", obs.Label{Key: "tenant", Value: tenant}),
+	}
+	t.byTenant[tenant] = h
+	return h
+}

@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"remicss/internal/obs"
+)
+
+// tenantValues lists the distinct tenant label values present on the named
+// series in the registry.
+func tenantValues(reg *obs.Registry, series string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, s := range reg.Gather() {
+		if s.Name != series {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Key == "tenant" {
+				out[l.Value] = s.Value
+			}
+		}
+	}
+	return out
+}
+
+// TestTenantCardinalityCap pins the hard cap on per-tenant series: the
+// first TenantCap distinct tenants get their own labeled series, every
+// later tenant collapses into the shared "other" bucket — counters and
+// gauges both — and the registry never grows past cap+1 tenant values.
+func TestTenantCardinalityCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(ServerConfig{Shards: 4, TenantCap: 2, Metrics: reg})
+
+	// a and b are admitted; c and d arrive after the cap and share the
+	// overflow bucket.
+	for i, tenant := range []string{"a", "b", "c", "d"} {
+		if _, err := s.Register(uint64(i+1), tenant, func([]byte) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	active := tenantValues(reg, "remicss_gateway_sessions_active")
+	want := map[string]int64{"a": 1, "b": 1, OverflowTenant: 2}
+	if len(active) != len(want) {
+		t.Fatalf("sessions_active tenants = %v, want %v", active, want)
+	}
+	for k, v := range want {
+		if active[k] != v {
+			t.Fatalf("sessions_active{tenant=%q} = %d, want %d", k, active[k], v)
+		}
+	}
+	if got := reg.Counter("remicss_gateway_tenants_capped_total").Value(); got != 2 {
+		t.Fatalf("tenants_capped_total = %d, want 2", got)
+	}
+
+	// Dispatch for a capped tenant's session lands in the other bucket.
+	s.Dispatch(marshalSession(t, 3, []byte("c-traffic")))
+	s.Dispatch(marshalSession(t, 1, []byte("a-traffic")))
+	dgrams := tenantValues(reg, "remicss_gateway_datagrams_total")
+	if dgrams["a"] != 1 || dgrams["b"] != 0 || dgrams[OverflowTenant] != 1 {
+		t.Fatalf("datagrams by tenant = %v", dgrams)
+	}
+
+	// More sessions for an already-capped tenant do not re-count it, and
+	// an admitted tenant keeps its own series.
+	if _, err := s.Register(10, "c", func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register(11, "a", func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("remicss_gateway_tenants_capped_total").Value(); got != 2 {
+		t.Fatalf("tenants_capped_total after repeats = %d, want 2", got)
+	}
+	active = tenantValues(reg, "remicss_gateway_sessions_active")
+	if active["a"] != 2 || active[OverflowTenant] != 3 {
+		t.Fatalf("sessions_active after repeats = %v", active)
+	}
+
+	// Closing sessions decrements whichever series they resolved to.
+	s.Lookup(3).Close()
+	active = tenantValues(reg, "remicss_gateway_sessions_active")
+	if active[OverflowTenant] != 2 {
+		t.Fatalf("sessions_active{other} after close = %d, want 2", active[OverflowTenant])
+	}
+}
+
+// TestTenantCapDeterministic pins the admission rule: which tenants own
+// series depends only on first-appearance order, so two servers seeing
+// the same registration order expose identical tenant label sets.
+func TestTenantCapDeterministic(t *testing.T) {
+	order := []string{"x", "y", "z", "w", "x", "z"}
+	build := func() map[string]int64 {
+		reg := obs.NewRegistry()
+		s := NewServer(ServerConfig{Shards: 4, TenantCap: 2, Metrics: reg})
+		for i, tenant := range order {
+			if _, err := s.Register(uint64(i+1), tenant, func([]byte) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tenantValues(reg, "remicss_gateway_sessions_active")
+	}
+	a, b := build(), build()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same registration order produced different tenant sets: %v vs %v", a, b)
+	}
+	if _, ok := a["x"]; !ok {
+		t.Fatal("first-seen tenant x lost its series")
+	}
+	if _, ok := a["z"]; ok {
+		t.Fatal("beyond-cap tenant z kept its own series")
+	}
+	if a[OverflowTenant] != 3 {
+		t.Fatalf("other bucket holds %d sessions, want 3", a[OverflowTenant])
+	}
+}
+
+// TestTenantNamedOther pins the documented edge: a real tenant named
+// "other" shares the overflow bucket and is never counted as capped.
+func TestTenantNamedOther(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(ServerConfig{Shards: 4, TenantCap: 8, Metrics: reg})
+	if _, err := s.Register(1, OverflowTenant, func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("remicss_gateway_tenants_capped_total").Value(); got != 0 {
+		t.Fatalf("tenant literally named other counted as capped (%d)", got)
+	}
+	active := tenantValues(reg, "remicss_gateway_sessions_active")
+	if active[OverflowTenant] != 1 || len(active) != 1 {
+		t.Fatalf("sessions_active = %v, want only the other bucket", active)
+	}
+}

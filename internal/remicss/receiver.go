@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"remicss/internal/obs"
+	"remicss/internal/shardix"
 	"remicss/internal/sharing"
 	"remicss/internal/wire"
 )
@@ -299,14 +300,11 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 
 // shardFor routes a sequence number to its shard. Senders assign seqs
 // sequentially, so the raw low bits would stripe neighbors onto neighboring
-// shards but correlate with any power-of-two traffic pattern; a splitmix64
-// finalizer decorrelates them before masking.
+// shards but correlate with any power-of-two traffic pattern; the shared
+// splitmix64 finalizer (internal/shardix, also used by the gateway's
+// session table) decorrelates them before masking.
 func (r *Receiver) shardFor(seq uint64) *recvShard {
-	z := seq + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return &r.shards[z&r.shardMask]
+	return &r.shards[shardix.Index(seq, r.shardMask)]
 }
 
 // Metrics returns the registry holding the receiver's series (the one

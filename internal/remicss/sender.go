@@ -63,6 +63,12 @@ type SenderConfig struct {
 	// and failover state machine. Pair it with a HealthChooser so the
 	// schedule actually avoids channels the tracker declares down.
 	Health *HealthTracker
+	// Session, when nonzero, stamps every share with this gateway session
+	// ID using the v2 wire header, so a multi-tenant gateway sharing one
+	// socket pool can dispatch each datagram to its session without parsing
+	// the full packet. Zero keeps the v1 header, byte-compatible with
+	// receivers that predate the gateway.
+	Session uint64
 }
 
 // senderChannelCounters are the per-channel metric handles, resolved once
@@ -147,6 +153,19 @@ type Sender struct {
 	// make the zero-allocation pins flaky.)
 	scratchSlot atomic.Pointer[sendScratch]
 	scratch     sync.Pool
+}
+
+// marshalShare encodes pkt in the sender's wire version: the v2
+// session-bearing header when the sender is bound to a gateway session,
+// the v1 header otherwise.
+//
+//remicss:noalloc
+func (s *Sender) marshalShare(dst []byte, pkt wire.SharePacket) ([]byte, error) {
+	if s.cfg.Session != 0 {
+		pkt.Session = s.cfg.Session
+		return wire.AppendMarshalSession(dst, pkt)
+	}
+	return wire.AppendMarshal(dst, pkt)
 }
 
 // getScratch claims a private working set for one Send/SendBatch call.
@@ -302,7 +321,7 @@ func (s *Sender) Send(payload []byte) error {
 		}
 		// One marshal buffer serves every share: links do not retain the
 		// datagram after Send returns, so it is safe to overwrite.
-		sc.dgram, err = wire.AppendMarshal(sc.dgram[:0], pkt)
+		sc.dgram, err = s.marshalShare(sc.dgram[:0], pkt)
 		if err != nil {
 			return fmt.Errorf("remicss: encoding share: %w", err)
 		}
@@ -408,7 +427,7 @@ func (s *Sender) SendBatch(payloads [][]byte) (int, error) {
 			if nb == len(sc.bufs) {
 				sc.bufs = append(sc.bufs, nil)
 			}
-			buf, err := wire.AppendMarshal(sc.bufs[nb][:0], pkt)
+			buf, err := s.marshalShare(sc.bufs[nb][:0], pkt)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("remicss: encoding share: %w", err)

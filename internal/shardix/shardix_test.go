@@ -1,0 +1,58 @@
+package shardix
+
+import "testing"
+
+// TestMixReferenceValues pins the splitmix64 finalizer to the exact values
+// the PR-4 receiver used inline, so extracting the helper cannot change
+// which shard any sequence number routes to (the shard-reconciliation
+// tests in internal/remicss depend on the routing staying put).
+func TestMixReferenceValues(t *testing.T) {
+	// Reference: the previous inline implementation, kept verbatim.
+	ref := func(seq uint64) uint64 {
+		z := seq + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	keys := []uint64{0, 1, 2, 3, 63, 64, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for i := uint64(0); i < 4096; i++ {
+		keys = append(keys, i)
+	}
+	for _, k := range keys {
+		if got, want := Mix(k), ref(k); got != want {
+			t.Fatalf("Mix(%d) = %#x, want %#x", k, got, want)
+		}
+	}
+}
+
+// TestIndexMask checks Index is Mix masked, for every power-of-two mask the
+// receiver and gateway use.
+func TestIndexMask(t *testing.T) {
+	for _, shards := range []uint64{1, 2, 4, 8, 64, 1024} {
+		mask := shards - 1
+		for k := uint64(0); k < 1000; k++ {
+			if got, want := Index(k, mask), Mix(k)&mask; got != want {
+				t.Fatalf("Index(%d, %#x) = %d, want %d", k, mask, got, want)
+			}
+			if Index(k, mask) >= shards {
+				t.Fatalf("Index(%d, %#x) out of range", k, mask)
+			}
+		}
+	}
+}
+
+// TestMixSpreadsSequentialKeys is a smoke check of the property the mixing
+// exists for: sequential keys must not collapse onto few shards.
+func TestMixSpreadsSequentialKeys(t *testing.T) {
+	const shards = 16
+	var hits [shards]int
+	const n = 16 * 1024
+	for k := uint64(0); k < n; k++ {
+		hits[Index(k, shards-1)]++
+	}
+	for i, h := range hits {
+		if h < n/shards/2 || h > n/shards*2 {
+			t.Fatalf("shard %d got %d of %d sequential keys; expected near %d", i, h, n, n/shards)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package udptrans
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// A netBatcher is one implementation of grouped datagram I/O on a UDP
+// socket: moving a burst of datagrams between user space and the kernel in
+// as few system calls as the platform allows. Two are compiled in:
+//
+//   - "mmsg" (Linux): sendmmsg(2)/recvmmsg(2) through the stdlib syscall
+//     package, one kernel entry per burst. See netbatch_mmsg.go.
+//   - "portable": one Write/Read per datagram, semantically identical,
+//     available everywhere. The delivered bytes are byte-for-byte the same
+//     as the fast path's — only the syscall count differs — which the
+//     differential transport test pins.
+//
+// The calls return value counts kernel entries, so callers can expose a
+// syscalls-per-datagram ratio (the gateway bench's headline metric).
+type netBatcher struct {
+	name string
+	// send writes bufs to the connected socket, returning how many
+	// datagrams were written and how many kernel entries that took. rc is
+	// the socket's cached raw connection; the portable path ignores it.
+	send func(conn *net.UDPConn, rc syscall.RawConn, bufs [][]byte) (written, calls int, err error)
+	// recv fills bufs with up to len(bufs) datagrams from the socket,
+	// blocking until at least one arrives, and records each datagram's
+	// length in sizes. Returns the datagram count and kernel entries.
+	recv func(conn *net.UDPConn, rc syscall.RawConn, bufs [][]byte, sizes []int) (n, calls int, err error)
+}
+
+var portableBatcher = netBatcher{
+	name: "portable",
+	send: portableSend,
+	recv: portableRecv,
+}
+
+// portableSend is the per-datagram fallback write path.
+func portableSend(conn *net.UDPConn, _ syscall.RawConn, bufs [][]byte) (written, calls int, err error) {
+	for _, b := range bufs {
+		calls++
+		if _, werr := conn.Write(b); werr != nil {
+			return written, calls, werr
+		}
+		written++
+	}
+	return written, calls, nil
+}
+
+// portableRecv reads exactly one datagram per kernel entry.
+func portableRecv(conn *net.UDPConn, _ syscall.RawConn, bufs [][]byte, sizes []int) (n, calls int, err error) {
+	rn, rerr := conn.Read(bufs[0])
+	if rerr != nil {
+		return 0, 1, rerr
+	}
+	sizes[0] = rn
+	return 1, 1, nil
+}
+
+// batcherTable enumerates every batcher compiled into this binary, fastest
+// first; selection walks it in order and takes the first available one,
+// exactly like the gf256 kernel table.
+var batcherTable = []struct {
+	b         *netBatcher
+	available func() bool
+}{
+	{mmsgBatcher, mmsgAvailable},
+	{&portableBatcher, func() bool { return true }},
+}
+
+// activeBatcher is the selected implementation, installed once by
+// selectBatcher on first use and swapped only by ForceBatchMode (tests and
+// benchmarks). Atomic so a test-time swap is safe under -race.
+var activeBatcher atomic.Pointer[netBatcher]
+
+var batcherOnce sync.Once
+
+// batchEnv is the override knob, read once at first use: REMICSS_NETBATCH
+// names the batching mode to use ("mmsg" or "portable"), mirroring
+// REMICSS_GFKERNEL. CI runs a forced-portable leg so the fallback stays
+// tested on Linux; naming an unavailable or unknown mode is a hard
+// failure, not a silent fallback, because a typo here would otherwise
+// un-test the path it meant to pin.
+const batchEnv = "REMICSS_NETBATCH"
+
+// batcher returns the active batching implementation, selecting it on
+// first use.
+func batcher() *netBatcher {
+	batcherOnce.Do(selectBatcher)
+	return activeBatcher.Load()
+}
+
+// selectBatcher installs the fastest available batcher, honoring batchEnv.
+func selectBatcher() {
+	if want := os.Getenv(batchEnv); want != "" {
+		if err := forceBatchMode(want); err != nil {
+			panic("udptrans: " + batchEnv + ": " + err.Error())
+		}
+		return
+	}
+	for _, e := range batcherTable {
+		if e.b != nil && e.available() {
+			activeBatcher.Store(e.b)
+			return
+		}
+	}
+	activeBatcher.Store(&portableBatcher) // unreachable: portable is always available
+}
+
+// BatchMode reports the name of the active batched-I/O mode ("mmsg" or
+// "portable"), for logs and bench reports.
+func BatchMode() string { return batcher().name }
+
+// BatchModes lists the modes available on this machine, sorted by name.
+// Every listed mode can be activated with ForceBatchMode; the differential
+// transport test iterates this list so each compiled path is pinned
+// against the portable reference no matter which one selection picked.
+func BatchModes() []string {
+	var names []string
+	for _, e := range batcherTable {
+		if e.b != nil && e.available() {
+			names = append(names, e.b.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ForceBatchMode activates the named batching mode and returns a function
+// restoring the previous one. It exists for tests and benchmarks that must
+// pin or compare specific paths; production code selects once at first
+// use. Concurrent batched I/O during a swap is safe (the pointer is
+// atomic) but which mode a racing call gets is unspecified.
+func ForceBatchMode(name string) (restore func(), err error) {
+	prev := batcher()
+	if err := forceBatchMode(name); err != nil {
+		return nil, err
+	}
+	return func() { activeBatcher.Store(prev) }, nil
+}
+
+// forceBatchMode installs the named mode if it is compiled in and
+// available.
+func forceBatchMode(name string) error {
+	for _, e := range batcherTable {
+		if e.b == nil || e.b.name != name {
+			continue
+		}
+		if !e.available() {
+			return fmt.Errorf("batch mode %q is not available on this machine", name)
+		}
+		activeBatcher.Store(e.b)
+		return nil
+	}
+	return fmt.Errorf("unknown batch mode %q (compiled in: %v)", name, compiledBatchModes())
+}
+
+// compiledBatchModes lists every mode in the table, available or not.
+func compiledBatchModes() []string {
+	var names []string
+	for _, e := range batcherTable {
+		if e.b != nil {
+			names = append(names, e.b.name)
+		}
+	}
+	return names
+}

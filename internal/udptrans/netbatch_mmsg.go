@@ -1,0 +1,194 @@
+//go:build linux && (amd64 || arm64)
+
+// The sendmmsg(2)/recvmmsg(2) fast path: one kernel entry moves a whole
+// burst of datagrams. Built from the stdlib syscall package only — the
+// syscall numbers exist on every linux port, but the mmsghdr layout below
+// hardcodes the 64-bit msghdr (8-byte pointers, uint64 iovlen, 4 bytes of
+// tail padding), so the build tag admits exactly the 64-bit targets whose
+// generated syscall.Msghdr matches it. Other platforms compile the
+// portable per-datagram path (netbatch_nommsg.go).
+package udptrans
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the per-message byte count
+// the kernel fills in on receive, padded to 8 bytes.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// mmsgScratch is the per-call header and iovec working set, recycled so
+// steady-state batched I/O does not allocate. The syscall loop state lives
+// in fields rather than locals, and the RawConn callbacks are bound once
+// per scratch (sendFn/recvFn), because a closure capturing per-call
+// variables would heap-allocate on every burst. The iovec base pointers are
+// dropped after each call (see release): retaining them would pin caller
+// buffers, the same no-retention contract Links obey.
+type mmsgScratch struct {
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+
+	total   int // messages loaded for this call
+	written int // messages the kernel accepted so far (send)
+	n       int // messages the kernel returned (recv)
+	calls   int // kernel entries spent
+	err     error
+
+	sendFn func(fd uintptr) bool // bound sendLoop, allocated once
+	recvFn func(fd uintptr) bool // bound recvLoop, allocated once
+}
+
+// Recycling goes through an atomic slot with the pool as overflow so the
+// zero-allocation pins hold under the race detector (see batchScratch).
+var (
+	mmsgSlot atomic.Pointer[mmsgScratch]
+	mmsgPool = sync.Pool{New: func() any {
+		sc := new(mmsgScratch)
+		sc.sendFn = sc.sendLoop
+		sc.recvFn = sc.recvLoop
+		return sc
+	}}
+)
+
+// getMmsgScratch claims a private working set for one batched syscall.
+func getMmsgScratch() *mmsgScratch {
+	if sc := mmsgSlot.Swap(nil); sc != nil {
+		return sc
+	}
+	return mmsgPool.Get().(*mmsgScratch)
+}
+
+// grow sizes the scratch for n messages, one iovec per message (shares
+// travel as single contiguous datagrams), and resets the loop state.
+func (sc *mmsgScratch) grow(n int) {
+	if cap(sc.hdrs) < n {
+		sc.hdrs = make([]mmsghdr, n)
+		sc.iovs = make([]syscall.Iovec, n)
+	}
+	sc.hdrs = sc.hdrs[:n]
+	sc.iovs = sc.iovs[:n]
+	sc.total = n
+	sc.written = 0
+	sc.n = 0
+	sc.calls = 0
+	sc.err = nil
+}
+
+// load points message i at buf.
+func (sc *mmsgScratch) load(i int, buf []byte) {
+	iov := &sc.iovs[i]
+	if len(buf) > 0 {
+		iov.Base = &buf[0]
+	} else {
+		iov.Base = nil
+	}
+	iov.SetLen(len(buf))
+	h := &sc.hdrs[i]
+	h.hdr = syscall.Msghdr{Iov: iov, Iovlen: 1}
+	h.n = 0
+}
+
+// release drops every buffer pointer before the scratch returns to the
+// pool.
+func (sc *mmsgScratch) release() {
+	for i := range sc.iovs {
+		sc.iovs[i].Base = nil
+	}
+	if mmsgSlot.CompareAndSwap(nil, sc) {
+		return
+	}
+	mmsgPool.Put(sc)
+}
+
+// sendLoop is the RawConn write callback: it drains the loaded burst with
+// as few sendmmsg calls as the socket buffer allows, returning false on
+// EAGAIN so the runtime poller parks until the socket is writable again.
+func (sc *mmsgScratch) sendLoop(fd uintptr) bool {
+	for sc.written < sc.total {
+		n, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&sc.hdrs[sc.written])), uintptr(sc.total-sc.written),
+			syscall.MSG_DONTWAIT, 0, 0)
+		sc.calls++
+		if errno == syscall.EAGAIN {
+			return false // wait for writability, then resume the burst
+		}
+		if errno != 0 {
+			sc.err = errno
+			return true
+		}
+		sc.written += int(n)
+	}
+	return true
+}
+
+// recvLoop is the RawConn read callback: one recvmmsg pulls up to total
+// datagrams, returning false on EAGAIN so the poller parks until at least
+// one arrives.
+func (sc *mmsgScratch) recvLoop(fd uintptr) bool {
+	r, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+		uintptr(unsafe.Pointer(&sc.hdrs[0])), uintptr(sc.total),
+		syscall.MSG_DONTWAIT, 0, 0)
+	sc.calls++
+	if errno == syscall.EAGAIN {
+		return false // wait for readability
+	}
+	if errno != 0 {
+		sc.err = errno
+		return true
+	}
+	sc.n = int(r)
+	return true
+}
+
+var mmsgBatcher = &netBatcher{
+	name: "mmsg",
+	send: mmsgSend,
+	recv: mmsgRecv,
+}
+
+func mmsgAvailable() bool { return true }
+
+// mmsgSend writes the burst with as few sendmmsg calls as the socket
+// buffer allows, integrating with the runtime poller on EAGAIN.
+func mmsgSend(_ *net.UDPConn, rc syscall.RawConn, bufs [][]byte) (written, calls int, err error) {
+	sc := getMmsgScratch()
+	defer sc.release()
+	sc.grow(len(bufs))
+	for i, b := range bufs {
+		sc.load(i, b)
+	}
+	werr := rc.Write(sc.sendFn)
+	written, calls, err = sc.written, sc.calls, sc.err
+	if err == nil {
+		err = werr
+	}
+	return written, calls, err
+}
+
+// mmsgRecv pulls up to len(bufs) datagrams in one kernel entry, blocking
+// via the runtime poller until at least one arrives.
+func mmsgRecv(_ *net.UDPConn, rc syscall.RawConn, bufs [][]byte, sizes []int) (n, calls int, err error) {
+	sc := getMmsgScratch()
+	defer sc.release()
+	sc.grow(len(bufs))
+	for i, b := range bufs {
+		sc.load(i, b)
+	}
+	rerr := rc.Read(sc.recvFn)
+	n, calls, err = sc.n, sc.calls, sc.err
+	if err == nil {
+		err = rerr
+	}
+	for i := 0; i < n; i++ {
+		sizes[i] = int(sc.hdrs[i].n)
+	}
+	return n, calls, err
+}

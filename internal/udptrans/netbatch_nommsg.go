@@ -1,0 +1,11 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udptrans
+
+// mmsgBatcher is absent on platforms without the sendmmsg/recvmmsg fast
+// path (or whose msghdr layout the fast path does not hardcode); selection
+// falls through to the portable per-datagram batcher, and forcing
+// REMICSS_NETBATCH=mmsg here fails loudly.
+var mmsgBatcher *netBatcher
+
+func mmsgAvailable() bool { return false }

@@ -1,0 +1,12 @@
+//go:build linux
+
+package udptrans
+
+// sendmmsg(2)/recvmmsg(2) syscall numbers for linux/amd64. The stdlib
+// syscall package is frozen from before sendmmsg existed and does not
+// export its number (it does export SYS_RECVMMSG; both are spelled out
+// here so the fast path reads uniformly).
+const (
+	sysSendmmsg uintptr = 307
+	sysRecvmmsg uintptr = 299
+)

@@ -1,0 +1,11 @@
+//go:build linux
+
+package udptrans
+
+// sendmmsg(2)/recvmmsg(2) syscall numbers for linux/arm64 (the generic
+// asm-generic table). See netbatch_sysnum_amd64.go for why these are
+// spelled out rather than taken from the stdlib syscall package.
+const (
+	sysSendmmsg uintptr = 269
+	sysRecvmmsg uintptr = 243
+)

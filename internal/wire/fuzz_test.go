@@ -6,9 +6,10 @@ import (
 )
 
 // FuzzUnmarshal checks that arbitrary datagrams never panic the parser,
-// that anything it accepts re-marshals to the identical datagram, and that
-// parsing never writes to its input — the property concurrent receivers
-// sharing one receive buffer depend on.
+// that anything it accepts re-marshals to the identical datagram (in the
+// header version the datagram declared), and that parsing never writes to
+// its input — the property concurrent receivers sharing one receive buffer
+// depend on.
 func FuzzUnmarshal(f *testing.F) {
 	good, err := Marshal(SharePacket{
 		Seq: 1, K: 2, M: 3, Index: 1, SentAt: 42, Payload: []byte("seed"),
@@ -16,10 +17,21 @@ func FuzzUnmarshal(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	goodV2, err := AppendMarshalSession(nil, SharePacket{
+		Seq: 1, Session: 0x1122334455667788, K: 2, M: 3, Index: 1, SentAt: 42,
+		Payload: []byte("seed"),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(good)
+	f.Add(goodV2)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize))
-	// Truncation and corruption mutants of the valid seed.
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSizeV2))
+	// Truncation and corruption mutants of the valid seeds; for the v2
+	// seed, every truncation boundary and corruption offset inside the
+	// session-ID field [24, 32).
 	f.Add(good[:HeaderSize])
 	f.Add(good[:HeaderSize/2])
 	f.Add(good[:len(good)-1])
@@ -28,6 +40,23 @@ func FuzzUnmarshal(f *testing.F) {
 		mutant[i] ^= 0x80
 		f.Add(mutant)
 	}
+	f.Add(goodV2[:HeaderSizeV2])
+	f.Add(goodV2[:HeaderSizeV2-1])
+	f.Add(goodV2[:HeaderSize])
+	f.Add(goodV2[:len(goodV2)-1])
+	for _, i := range []int{0, 2, 3, 6, 24, 25, 28, 31, 32, HeaderSizeV2} {
+		mutant := append([]byte(nil), goodV2...)
+		mutant[i] ^= 0x80
+		f.Add(mutant)
+	}
+	// A v1 datagram relabeled v2 and vice versa: version-field confusion
+	// must be rejected by the length or checksum gates, not read OOB.
+	relabel := append([]byte(nil), good...)
+	relabel[2] = VersionSession
+	f.Add(relabel)
+	relabel = append([]byte(nil), goodV2...)
+	relabel[2] = Version
+	f.Add(relabel)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		orig := append([]byte(nil), data...)
@@ -38,20 +67,34 @@ func FuzzUnmarshal(f *testing.F) {
 		if err != nil {
 			return
 		}
-		out, err := Marshal(pkt)
+		// Re-marshal in the version the datagram declared. A v1 datagram
+		// must have parsed with Session 0 (Marshal would refuse it
+		// otherwise, failing the test as intended).
+		remarshal := func(dst []byte) ([]byte, error) {
+			if data[2] == VersionSession {
+				return AppendMarshalSession(dst, pkt)
+			}
+			return AppendMarshal(dst, pkt)
+		}
+		out, err := remarshal(nil)
 		if err != nil {
 			t.Fatalf("accepted packet fails to re-marshal: %v", err)
 		}
 		if !bytes.Equal(out, data) {
 			t.Fatalf("re-marshal differs from accepted datagram")
 		}
-		// AppendMarshal onto a prefix must reproduce the same bytes after it.
-		prefixed, err := AppendMarshal([]byte{0xde, 0xad}, pkt)
+		// Appending onto a prefix must reproduce the same bytes after it.
+		prefixed, err := remarshal([]byte{0xde, 0xad})
 		if err != nil {
 			t.Fatalf("append re-marshal: %v", err)
 		}
 		if !bytes.Equal(prefixed[2:], data) {
-			t.Fatalf("AppendMarshal differs from Marshal")
+			t.Fatalf("append re-marshal differs from Marshal")
+		}
+		// The dispatch fast path must agree with the full parser on every
+		// accepted datagram.
+		if s, ok := PeekSession(data); !ok || s != pkt.Session {
+			t.Fatalf("PeekSession = (%d, %v), Unmarshal says session %d", s, ok, pkt.Session)
 		}
 	})
 }

@@ -1,7 +1,8 @@
 // Package wire defines the share packet format used by the ReMICSS
 // reference protocol.
 //
-// Each share of a source symbol travels as one datagram:
+// Each share of a source symbol travels as one datagram. Version 1, the
+// single-session format:
 //
 //	offset  size  field
 //	0       2     magic "RS"
@@ -14,6 +15,22 @@
 //	16      8     send timestamp, nanoseconds (big endian, signed)
 //	24      4     CRC-32C over header (zeroed checksum field) and payload
 //	28      n     share payload
+//
+// Version 2 is the multi-tenant gateway format: identical through offset
+// 24, then a session identifier before the checksum, so a gateway can
+// route a datagram to its session with one fixed-offset read
+// (PeekSession) without parsing or checksumming the whole packet:
+//
+//	offset  size  field
+//	24      8     session ID (big endian)
+//	32      4     CRC-32C over header (zeroed checksum field) and payload
+//	36      n     share payload
+//
+// Unmarshal accepts both versions (a v1 datagram parses with Session 0),
+// so a gateway socket can carry v2 traffic alongside pre-gateway v1
+// senders. Marshal and AppendMarshal emit v1 and refuse packets with a
+// session ID — silently dropping the ID would misroute the share — and
+// AppendMarshalSession emits v2.
 //
 // The timestamp lets the receiver measure one-way delay against the same
 // clock in simulation, and is the mechanism the paper's delay experiment
@@ -28,14 +45,24 @@ import (
 	"hash/crc32"
 )
 
-// HeaderSize is the fixed number of bytes before the payload.
+// HeaderSize is the fixed number of bytes before the payload in a version
+// 1 datagram.
 const HeaderSize = 28
+
+// HeaderSizeV2 is the fixed number of bytes before the payload in a
+// version 2 (session-addressed) datagram: HeaderSize plus the 8-byte
+// session ID.
+const HeaderSizeV2 = 36
 
 // MaxPayload is the largest payload length the 16-bit length field allows.
 const MaxPayload = 1<<16 - 1
 
 // Version is the protocol version emitted by Marshal.
 const Version = 1
+
+// VersionSession is the protocol version emitted by AppendMarshalSession:
+// the v2 header carrying a session ID for gateway routing.
+const VersionSession = 2
 
 var magic = [2]byte{'R', 'S'}
 
@@ -56,6 +83,12 @@ var (
 type SharePacket struct {
 	// Seq is the source symbol sequence number the share belongs to.
 	Seq uint64
+	// Session identifies the secret-sharing session the share belongs to
+	// on a multiplexed (gateway) socket. Zero means single-session
+	// traffic: v1 datagrams always parse with Session 0, and a packet
+	// with Session 0 marshals to the v1 format via Marshal/AppendMarshal
+	// or to v2 via AppendMarshalSession.
+	Session uint64
 	// K is the reconstruction threshold for the symbol.
 	K uint8
 	// M is the number of shares generated for the symbol.
@@ -87,18 +120,44 @@ func Marshal(p SharePacket) ([]byte, error) {
 	return AppendMarshal(nil, p)
 }
 
-// AppendMarshal serializes the packet onto dst (which may be nil or a
-// recycled buffer sliced to zero length) and returns the extended slice —
-// the append-style codec discipline that lets a steady-state sender reuse
-// one datagram buffer per send instead of allocating per share.
+// AppendMarshal serializes the packet in the v1 format onto dst (which may
+// be nil or a recycled buffer sliced to zero length) and returns the
+// extended slice — the append-style codec discipline that lets a
+// steady-state sender reuse one datagram buffer per send instead of
+// allocating per share. A packet carrying a session ID is refused: the v1
+// header has nowhere to put it, and dropping it silently would misroute
+// the share on a multiplexed socket (use AppendMarshalSession).
 //
 //remicss:noalloc
 func AppendMarshal(dst []byte, p SharePacket) ([]byte, error) {
+	if p.Session != 0 {
+		return nil, fmt.Errorf("%w: session %d needs the v2 format", ErrBadParams, p.Session)
+	}
+	return appendMarshal(dst, p, Version)
+}
+
+// AppendMarshalSession serializes the packet in the v2 (session-addressed)
+// format onto dst; otherwise identical to AppendMarshal. Session 0 is
+// legal — the header is what declares the format, not the ID value.
+//
+//remicss:noalloc
+func AppendMarshalSession(dst []byte, p SharePacket) ([]byte, error) {
+	return appendMarshal(dst, p, VersionSession)
+}
+
+// appendMarshal emits one datagram in the given header version.
+//
+//remicss:noalloc
+func appendMarshal(dst []byte, p SharePacket, version byte) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	hdr := HeaderSize
+	if version == VersionSession {
+		hdr = HeaderSizeV2
+	}
 	off := len(dst)
-	n := HeaderSize + len(p.Payload)
+	n := hdr + len(p.Payload)
 	if cap(dst)-off >= n {
 		dst = dst[:off+n]
 	} else {
@@ -106,19 +165,24 @@ func AppendMarshal(dst []byte, p SharePacket) ([]byte, error) {
 	}
 	buf := dst[off:]
 	buf[0], buf[1] = magic[0], magic[1]
-	buf[2] = Version
+	buf[2] = version
 	buf[3] = p.K
 	buf[4] = p.M
 	buf[5] = p.Index
 	binary.BigEndian.PutUint16(buf[6:8], uint16(len(p.Payload)))
 	binary.BigEndian.PutUint64(buf[8:16], p.Seq)
 	binary.BigEndian.PutUint64(buf[16:24], uint64(p.SentAt))
-	copy(buf[HeaderSize:], p.Payload)
+	crcOff := 24
+	if version == VersionSession {
+		binary.BigEndian.PutUint64(buf[24:32], p.Session)
+		crcOff = 32
+	}
+	copy(buf[hdr:], p.Payload)
 	// Checksum over the whole datagram with the checksum field zeroed; a
 	// recycled dst may carry stale bytes there.
-	binary.BigEndian.PutUint32(buf[24:28], 0)
+	binary.BigEndian.PutUint32(buf[crcOff:crcOff+4], 0)
 	sum := crc32.Checksum(buf, castagnoli)
-	binary.BigEndian.PutUint32(buf[24:28], sum)
+	binary.BigEndian.PutUint32(buf[crcOff:crcOff+4], sum)
 	return dst, nil
 }
 
@@ -127,22 +191,22 @@ func AppendMarshal(dst []byte, p SharePacket) ([]byte, error) {
 // to crc32's assembly kernels is forced to the heap.
 var zeroCRC [4]byte
 
-// checksum computes the datagram CRC as if bytes 24:28 were zero, without
-// writing to buf — Unmarshal must not mutate its input, which may be shared
-// with concurrent readers.
+// checksum computes the datagram CRC as if the 4 bytes at crcOff were
+// zero, without writing to buf — Unmarshal must not mutate its input,
+// which may be shared with concurrent readers.
 //
 //remicss:noalloc
-func checksum(buf []byte) uint32 {
-	sum := crc32.Update(0, castagnoli, buf[:24])
+func checksum(buf []byte, crcOff int) uint32 {
+	sum := crc32.Update(0, castagnoli, buf[:crcOff])
 	sum = crc32.Update(sum, castagnoli, zeroCRC[:])
-	return crc32.Update(sum, castagnoli, buf[28:])
+	return crc32.Update(sum, castagnoli, buf[crcOff+4:])
 }
 
-// Unmarshal parses and verifies a datagram. The input is strictly read-only
-// (checksum verification reconstructs the zeroed-field CRC incrementally
-// rather than patching the buffer), so concurrent receivers may parse
-// buffers they do not own. The returned packet's payload aliases the input;
-// callers that retain it must copy.
+// Unmarshal parses and verifies a datagram of either header version. The
+// input is strictly read-only (checksum verification reconstructs the
+// zeroed-field CRC incrementally rather than patching the buffer), so
+// concurrent receivers may parse buffers they do not own. The returned
+// packet's payload aliases the input; callers that retain it must copy.
 //
 //remicss:noalloc
 func Unmarshal(buf []byte) (SharePacket, error) {
@@ -152,27 +216,64 @@ func Unmarshal(buf []byte) (SharePacket, error) {
 	if buf[0] != magic[0] || buf[1] != magic[1] {
 		return SharePacket{}, ErrBadMagic
 	}
-	if buf[2] != Version {
+	hdr, crcOff := HeaderSize, 24
+	var session uint64
+	switch buf[2] {
+	case Version:
+	case VersionSession:
+		if len(buf) < HeaderSizeV2 {
+			return SharePacket{}, fmt.Errorf("%w: %d bytes for a v2 header", ErrTooShort, len(buf))
+		}
+		hdr, crcOff = HeaderSizeV2, 32
+		session = binary.BigEndian.Uint64(buf[24:32])
+	default:
 		return SharePacket{}, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
 	}
 	payloadLen := int(binary.BigEndian.Uint16(buf[6:8]))
-	if len(buf) != HeaderSize+payloadLen {
+	if len(buf) != hdr+payloadLen {
 		return SharePacket{}, fmt.Errorf("%w: header says %d, datagram carries %d",
-			ErrBadLength, payloadLen, len(buf)-HeaderSize)
+			ErrBadLength, payloadLen, len(buf)-hdr)
 	}
-	if binary.BigEndian.Uint32(buf[24:28]) != checksum(buf) {
+	if binary.BigEndian.Uint32(buf[crcOff:crcOff+4]) != checksum(buf, crcOff) {
 		return SharePacket{}, ErrBadChecksum
 	}
 	p := SharePacket{
 		Seq:     binary.BigEndian.Uint64(buf[8:16]),
+		Session: session,
 		K:       buf[3],
 		M:       buf[4],
 		Index:   buf[5],
 		SentAt:  int64(binary.BigEndian.Uint64(buf[16:24])),
-		Payload: buf[HeaderSize:],
+		Payload: buf[hdr:],
 	}
 	if err := p.Validate(); err != nil {
 		return SharePacket{}, err
 	}
 	return p, nil
+}
+
+// PeekSession extracts the session ID from a datagram without parsing or
+// checksumming it: the gateway's per-socket ingest goroutines route every
+// datagram by session before the owning session's receiver does the full
+// (CRC-verified) Unmarshal, so the dispatch cost must stay at a few
+// fixed-offset reads. A v1 datagram reports session 0 (the legacy,
+// unaddressed session); ok is false when the buffer cannot be a share
+// datagram of either version (too short, wrong magic, unknown version) —
+// corruption beyond that is caught downstream by the checksum.
+//
+//remicss:noalloc
+func PeekSession(buf []byte) (session uint64, ok bool) {
+	if len(buf) < HeaderSize || buf[0] != magic[0] || buf[1] != magic[1] {
+		return 0, false
+	}
+	switch buf[2] {
+	case Version:
+		return 0, true
+	case VersionSession:
+		if len(buf) < HeaderSizeV2 {
+			return 0, false
+		}
+		return binary.BigEndian.Uint64(buf[24:32]), true
+	}
+	return 0, false
 }

@@ -73,6 +73,14 @@ func buildRepresentativeRegistry(t *testing.T) *remicss.MetricsRegistry {
 		t.Fatal(err)
 	}
 	link.Instrument(reg, nil, 0)
+
+	// The session gateway registers the remicss_gateway_* series: the
+	// dispatch-path drop counters at construction, the per-tenant pair (and
+	// the cap counter) on first registration under a tenant.
+	gw := remicss.NewGateway(remicss.GatewayConfig{Shards: 4, Metrics: reg})
+	if _, err := gw.Register(1, "tenant-a", func([]byte) {}); err != nil {
+		t.Fatal(err)
+	}
 	return reg
 }
 
