@@ -46,6 +46,7 @@ func run() error {
 		schedJSON = flag.String("schedule-json", "", "run the schedule solve-path benchmarks (cold/warm/cached tiers at n=5,50,200) instead of figures and write the JSON report to this path (e.g. BENCH_schedule.json)")
 		gfJSON    = flag.String("gf-json", "", "run the GF(2^8) kernel and DRBG benchmarks (per-kernel passes, randomness sources, baseline-vs-fast split throughput) instead of figures and write the JSON report to this path (e.g. BENCH_gf.json)")
 		gwJSON    = flag.String("gateway-json", "", "run the session-gateway benchmarks (100k-session hold, batched-vs-portable multiplexed transfer, syscalls per datagram) instead of figures and write the JSON report to this path (e.g. BENCH_gateway.json)")
+		privJSON  = flag.String("privacy-json", "", "replay the builtin chaos catalog with correlated-adversary privacy scoring and write the per-scenario verdicts to this path (e.g. BENCH_privacy.json)")
 		chaosArg  = flag.String("chaos", "", "replay a chaos scenario instead of figures: a builtin name, a scenario-script path, or 'list'")
 		chaosJSON = flag.String("chaos-json", "", "with -chaos, also write the degradation report as JSON to this path")
 	)
@@ -62,6 +63,9 @@ func run() error {
 	}
 	if *gwJSON != "" {
 		return runGatewayJSON(*gwJSON)
+	}
+	if *privJSON != "" {
+		return runPrivacyJSON(*privJSON)
 	}
 	if *chaosArg != "" {
 		chaosSeed := *seed

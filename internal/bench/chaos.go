@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"remicss/internal/chaos"
+	"remicss/internal/core"
 	"remicss/internal/netem"
 	"remicss/internal/obs"
 	"remicss/internal/remicss"
@@ -46,6 +47,11 @@ type ChaosConfig struct {
 	// Resolve switches the chooser from multiplicity clamping to LP
 	// re-solving over the surviving channels (remicss.Resolve).
 	Resolve bool
+	// Privacy, when non-nil, scores the run under the correlated-adversary
+	// model and leakage meter and attaches a PrivacyReport to the result.
+	// When Resolve is also set, the chooser re-solves under the same
+	// correlated model (remicss.ResolveCorrelated).
+	Privacy *PrivacyConfig
 	// PayloadBytes is the symbol size. Defaults to DefaultPayloadBytes.
 	PayloadBytes int
 	// Obs, when non-nil, receives every metric series the run produces,
@@ -109,23 +115,37 @@ type ChaosResult struct {
 	FinalStates []string `json:"final_states"`
 	// Links are the per-channel emulator ground-truth counters.
 	Links []netem.LinkStats `json:"links"`
+	// Privacy is the correlated-adversary verdict, present when the run
+	// was configured with a PrivacyConfig.
+	Privacy *PrivacyReport `json:"privacy,omitempty"`
 }
 
-// Pass reports whether the run met both acceptance gates: the delivery
-// floor and the threshold floor.
-func (r ChaosResult) Pass() bool { return r.FloorOK && r.ThresholdOK }
+// Pass reports whether the run met its acceptance gates: the delivery
+// floor, the threshold floor, and — when privacy scoring was configured —
+// the leakage budget.
+func (r ChaosResult) Pass() bool {
+	return r.FloorOK && r.ThresholdOK && (r.Privacy == nil || r.Privacy.BudgetOK)
+}
 
 // minKChooser wraps the health chooser and tracks the smallest threshold it
-// ever returned, immune to trace-ring wrap.
+// ever returned, immune to trace-ring wrap. With counts non-nil it also
+// tallies the realized schedule — how many symbols each (k, M) assignment
+// carried — for privacy scoring.
 type minKChooser struct {
-	inner remicss.Chooser
-	minK  int
+	inner  remicss.Chooser
+	minK   int
+	counts map[core.Assignment]int64
 }
 
 func (c *minKChooser) Choose(links []remicss.Link) (int, uint32, bool) {
 	k, mask, ok := c.inner.Choose(links)
-	if ok && (c.minK == 0 || k < c.minK) {
-		c.minK = k
+	if ok {
+		if c.minK == 0 || k < c.minK {
+			c.minK = k
+		}
+		if c.counts != nil {
+			c.counts[core.Assignment{K: k, Mask: mask}]++
+		}
 	}
 	return k, mask, ok
 }
@@ -197,13 +217,20 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	}
 	var opts []remicss.HealthOption
 	if cfg.Resolve {
-		opts = append(opts, remicss.Resolve(set, schedule.ObjectiveLoss))
+		if corr, ok := privacyCorrelation(cfg, set.N()); ok {
+			opts = append(opts, remicss.ResolveCorrelated(set, corr, schedule.ObjectiveLoss))
+		} else {
+			opts = append(opts, remicss.Resolve(set, schedule.ObjectiveLoss))
+		}
 	}
 	chooser, err := remicss.NewHealthChooser(cfg.Kappa, cfg.Mu, tracker, rand.New(rand.NewSource(seed+100)), opts...)
 	if err != nil {
 		return ChaosResult{}, fmt.Errorf("bench: %w", err)
 	}
 	rec := &minKChooser{inner: chooser}
+	if cfg.Privacy != nil {
+		rec.counts = make(map[core.Assignment]int64)
+	}
 	snd, err := remicss.NewSender(remicss.SenderConfig{
 		Scheme:  scheme,
 		Chooser: rec,
@@ -291,5 +318,38 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		}
 	}
 	res.ThresholdOK = res.MinThreshold >= res.KappaFloor
+
+	if cfg.Privacy != nil {
+		rep, err := scorePrivacy(cfg, set, rec.counts, cfg.Trace)
+		if err != nil {
+			return ChaosResult{}, fmt.Errorf("bench: privacy scoring: %w", err)
+		}
+		res.Privacy = rep
+	}
 	return res, nil
+}
+
+// privacyCorrelation materializes the correlated model a ChaosConfig's
+// privacy settings imply, for wiring into the chooser's re-solve path. ok
+// is false when privacy scoring is off or no shared-risk groups exist.
+func privacyCorrelation(cfg ChaosConfig, n int) (core.Correlation, bool) {
+	if cfg.Privacy == nil {
+		return core.Correlation{}, false
+	}
+	groups := cfg.Privacy.Groups
+	if len(groups) == 0 {
+		groups = chaos.SharedGroups(cfg.Scenario, n)
+	}
+	if len(groups) == 0 {
+		return core.Correlation{}, false
+	}
+	rho := cfg.Privacy.Rho
+	if rho == 0 {
+		rho = DefaultPrivacyRho
+	}
+	var corr core.Correlation
+	for _, m := range groups {
+		corr.Groups = append(corr.Groups, core.RiskGroup{Mask: m, RiskRho: rho, LossRho: rho})
+	}
+	return corr, true
 }

@@ -72,6 +72,23 @@ var builtins = map[string]*Scenario{
 			{Kind: FaultCorrupt, At: 2 * time.Second, Duration: 6 * time.Second, Channel: 1, Value: 0.20},
 		},
 	},
+	// corrblackout is the shared-conduit cut: channels 0 and 1 go dark over
+	// the same window, the signature failure of two "diverse" paths that
+	// ride one fiber segment. Its overlapping blackouts are what
+	// SharedGroups derives a shared-risk group from, so it is the catalog's
+	// reference scenario for correlated-adversary privacy scoring: an
+	// independence-assuming model prices the two channels as separate
+	// observation draws, while the correlated model couples them.
+	"corrblackout": {
+		Name:     "corrblackout",
+		Seed:     42,
+		Duration: 10 * time.Second,
+		Floor:    0.60,
+		Faults: []Fault{
+			{Kind: FaultBlackout, At: 2 * time.Second, Duration: 3 * time.Second, Channel: 0},
+			{Kind: FaultBlackout, At: 2 * time.Second, Duration: 3 * time.Second, Channel: 1},
+		},
+	},
 	"multi": {
 		Name:     "multi",
 		Seed:     42,
@@ -97,6 +114,83 @@ func Builtin(name string) (*Scenario, bool) {
 	cp := *s
 	cp.Faults = append([]Fault(nil), s.Faults...)
 	return &cp, true
+}
+
+// SharedGroups derives shared-risk groups from a scenario's fault script:
+// channels whose blackout (or flap) windows overlap in time are presumed to
+// share a conduit — a simultaneous cut is the observable signature of
+// common infrastructure — and are merged into one group. Groups are
+// returned as channel bitmasks over n channels, ascending by lowest member;
+// singleton "groups" are omitted, since a group of one carries no
+// correlation. The result feeds the correlated-adversary privacy scoring
+// in internal/bench (bit i of each mask = channel i, matching
+// core.RiskGroup.Mask).
+func SharedGroups(s *Scenario, n int) []uint32 {
+	type window struct {
+		ch       int
+		from, to time.Duration
+	}
+	var wins []window
+	for _, f := range s.Faults {
+		if f.Kind != FaultBlackout && f.Kind != FaultFlap {
+			continue
+		}
+		to := f.At + f.Duration
+		if f.Duration == 0 {
+			to = s.Duration // permanent blackout
+		}
+		chans := []int{f.Channel}
+		if f.Channel == AllChannels {
+			chans = chans[:0]
+			for i := 0; i < n; i++ {
+				chans = append(chans, i)
+			}
+		}
+		for _, ch := range chans {
+			if ch >= 0 && ch < n {
+				wins = append(wins, window{ch: ch, from: f.At, to: to})
+			}
+		}
+	}
+
+	// Transitive merge: channels join one group when any of their windows
+	// overlap.
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if group[i] != i {
+			group[i] = find(group[i])
+		}
+		return group[i]
+	}
+	for i := 0; i < len(wins); i++ {
+		for j := i + 1; j < len(wins); j++ {
+			a, b := wins[i], wins[j]
+			if a.ch == b.ch || a.from >= b.to || b.from >= a.to {
+				continue
+			}
+			ra, rb := find(a.ch), find(b.ch)
+			if ra != rb {
+				group[rb] = ra
+			}
+		}
+	}
+
+	masks := make(map[int]uint32)
+	for i := 0; i < n; i++ {
+		masks[find(i)] |= 1 << uint(i)
+	}
+	var out []uint32
+	for _, m := range masks {
+		if m != 0 && m&(m-1) != 0 { // at least two members
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Names lists the catalog scenario names, sorted.

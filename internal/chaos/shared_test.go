@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSharedGroupsFromCorrBlackout(t *testing.T) {
+	s, ok := Builtin("corrblackout")
+	if !ok {
+		t.Fatal("corrblackout missing from catalog")
+	}
+	groups := SharedGroups(s, 3)
+	if len(groups) != 1 || groups[0] != 0b011 {
+		t.Fatalf("SharedGroups = %b, want [0b011]", groups)
+	}
+}
+
+func TestSharedGroupsNoOverlap(t *testing.T) {
+	// Disjoint windows: no shared conduit inferred.
+	s := &Scenario{
+		Name:     "seq",
+		Duration: 10 * time.Second,
+		Faults: []Fault{
+			{Kind: FaultBlackout, At: 1 * time.Second, Duration: 2 * time.Second, Channel: 0},
+			{Kind: FaultBlackout, At: 5 * time.Second, Duration: 2 * time.Second, Channel: 1},
+		},
+	}
+	if groups := SharedGroups(s, 3); len(groups) != 0 {
+		t.Fatalf("disjoint blackouts grouped: %b", groups)
+	}
+	// Single-channel faults never form a group.
+	single, _ := Builtin("blackout")
+	if groups := SharedGroups(single, 3); len(groups) != 0 {
+		t.Fatalf("single blackout grouped: %b", groups)
+	}
+}
+
+func TestSharedGroupsTransitiveAndPermanent(t *testing.T) {
+	// 0 overlaps 1, 1 overlaps 2 later: one transitive group of three. The
+	// permanent blackout (Duration 0) extends to scenario end.
+	s := &Scenario{
+		Name:     "chain",
+		Duration: 10 * time.Second,
+		Faults: []Fault{
+			{Kind: FaultBlackout, At: 1 * time.Second, Duration: 3 * time.Second, Channel: 0},
+			{Kind: FaultBlackout, At: 3 * time.Second, Channel: 1}, // permanent
+			{Kind: FaultFlap, At: 8 * time.Second, Duration: time.Second, Channel: 2, Period: time.Second},
+		},
+	}
+	groups := SharedGroups(s, 3)
+	if len(groups) != 1 || groups[0] != 0b111 {
+		t.Fatalf("SharedGroups = %b, want [0b111]", groups)
+	}
+}

@@ -1,0 +1,187 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"remicss/internal/core"
+	"remicss/internal/obs"
+	"remicss/internal/stats"
+)
+
+// With λ = 0 the bound must equal the paper's exposure z(k, M) bit-exactly:
+// Shamir leaks nothing below threshold to an all-or-nothing adversary.
+func TestZeroPartialBitsEqualsExposure(t *testing.T) {
+	probsets := [][]float64{
+		{0.1, 0.1, 0.1},
+		{0.05, 0.2, 0.3, 0.15},
+		{0.5, 0.5},
+	}
+	for _, probs := range probsets {
+		for k := 1; k <= len(probs); k++ {
+			want := stats.TailAtLeast(probs, k)
+			got := AdvantageBound(probs, k, Config{})
+			if got != want {
+				t.Errorf("probs=%v k=%d: bound %v != exposure %v", probs, k, got, want)
+			}
+		}
+	}
+}
+
+// The bound must be monotone in λ and clamp at 1.
+func TestBoundMonotoneInPartialBits(t *testing.T) {
+	probs := []float64{0.1, 0.1, 0.1}
+	prev := -1.0
+	for _, lambda := range []float64{0, 0.5, 1, 2, 4, 8, 16} {
+		b := AdvantageBound(probs, 2, Config{PartialBits: lambda})
+		if b < prev {
+			t.Fatalf("λ=%v: bound %v below previous %v", lambda, b, prev)
+		}
+		if b > 1 {
+			t.Fatalf("λ=%v: bound %v above 1", lambda, b)
+		}
+		prev = b
+	}
+	// At λ = F every unobserved share leaks a full share's worth: total
+	// exposure.
+	if b := AdvantageBound(probs, 2, Config{PartialBits: 8}); b != 1 {
+		t.Fatalf("λ=F bound = %v, want 1", b)
+	}
+}
+
+// Hand-computed bound: m = 3, k = 2, uniform z = 0.1, λ = 4, F = 8.
+// t=2,3: tail = 0.028. t=1: P=3·0.1·0.81=0.243, deficit 4·2−8·1=0 → adv 1.
+// t=0: P=0.729, deficit 4·3−8·2=−4 → adv 2^−4.
+func TestBoundHandComputed(t *testing.T) {
+	probs := []float64{0.1, 0.1, 0.1}
+	want := 0.028 + 0.243*1 + 0.729*math.Exp2(-4)
+	got := AdvantageBound(probs, 2, Config{PartialBits: 4})
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+}
+
+// The correlated bound must dominate the independent bound whenever the
+// symbol straddles a shared-risk group, and match it at zero correlation.
+func TestCorrelatedBoundDominates(t *testing.T) {
+	set := core.Set{
+		{Risk: 0.1, Loss: 0.01, Delay: 30 * time.Millisecond, Rate: 1000},
+		{Risk: 0.1, Loss: 0.01, Delay: 30 * time.Millisecond, Rate: 1000},
+		{Risk: 0.1, Loss: 0.01, Delay: 30 * time.Millisecond, Rate: 1000},
+	}
+	cfg := Config{PartialBits: 2}
+	ind := AdvantageBound(set.Risks(), 2, cfg)
+
+	zero := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b011}}}
+	if got := CorrelatedAdvantageBound(set, zero, 2, 0b111, cfg); got != ind {
+		t.Fatalf("zero-rho correlated bound %v != independent %v", got, ind)
+	}
+
+	corr := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b011, RiskRho: 0.8}}}
+	if got := CorrelatedAdvantageBound(set, corr, 2, 0b111, cfg); got <= ind {
+		t.Fatalf("correlated bound %v not above independent %v", got, ind)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{}, true},
+		{Config{FieldBits: 8, PartialBits: 2, Budget: 0.1}, true},
+		{Config{FieldBits: -1}, false},
+		{Config{PartialBits: -1}, false},
+		{Config{Budget: 1.5}, false},
+		{Config{Budget: -0.1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%+v: unexpected error %v", tc.cfg, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%+v: expected error", tc.cfg)
+		}
+	}
+}
+
+func TestMeterAggregatesAndAlerts(t *testing.T) {
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace(64)
+	m := NewMeter(Config{Budget: 0.05}, 3, reg, trace)
+
+	// Low-exposure symbol: z(2, {0.1,0.1,0.1}) = 0.028 < budget.
+	low := m.RecordSymbol(time.Second, 1, 2, []float64{0.1, 0.1, 0.1})
+	if low.Alert {
+		t.Fatalf("low symbol alerted: %+v", low)
+	}
+	// High-exposure symbol: z(1, {0.3}) = 0.3 > budget.
+	high := m.RecordSymbol(2*time.Second, 2, 1, []float64{0.3})
+	if !high.Alert {
+		t.Fatalf("high symbol did not alert: %+v", high)
+	}
+
+	st := m.Snapshot()
+	if st.Symbols != 2 || st.Alerts != 1 {
+		t.Fatalf("snapshot %+v, want 2 symbols / 1 alert", st)
+	}
+	if math.Abs(st.MaxExposure-0.3) > 1e-12 || math.Abs(st.MaxAdvantage-0.3) > 1e-12 {
+		t.Fatalf("snapshot maxima %+v, want 0.3", st)
+	}
+	if math.Abs(st.MeanAdvantage-(0.028+0.3)/2) > 1e-12 {
+		t.Fatalf("mean advantage %v", st.MeanAdvantage)
+	}
+
+	m.RecordObserved(1, 3)
+	m.RecordObserved(-1, 5) // ignored
+	m.RecordObserved(9, 5)  // ignored
+	if got := m.Snapshot().SharesObserved[1]; got != 3 {
+		t.Fatalf("channel 1 observed = %d, want 3", got)
+	}
+
+	if trace.CountKind(obs.EventPrivacyAlert) != 1 {
+		t.Fatalf("expected exactly one privacy-alert trace event")
+	}
+}
+
+func TestMeterMetricsExposeAtZero(t *testing.T) {
+	reg := obs.NewRegistry()
+	NewMeter(Config{}, 2, reg, nil)
+	for _, name := range []string{
+		"remicss_privacy_symbols_total",
+		"remicss_privacy_alerts_total",
+		"remicss_privacy_exposure_max_ppm",
+		"remicss_privacy_advantage_max_ppm",
+		"remicss_privacy_advantage_mean_ppm",
+	} {
+		// Re-registering must return the existing series, proving it was
+		// created eagerly at construction.
+		switch name {
+		case "remicss_privacy_symbols_total", "remicss_privacy_alerts_total":
+			if reg.Counter(name).Value() != 0 {
+				t.Errorf("%s not at zero", name)
+			}
+		default:
+			if reg.Gauge(name).Value() != 0 {
+				t.Errorf("%s not at zero", name)
+			}
+		}
+	}
+	if reg.Counter("remicss_privacy_shares_observed_total", obs.Label{Key: "channel", Value: "0"}).Value() != 0 {
+		t.Errorf("per-channel observed counter missing")
+	}
+}
+
+// A meter without registry or trace must still score and aggregate.
+func TestMeterBare(t *testing.T) {
+	m := NewMeter(Config{Budget: 0.01}, 2, nil, nil)
+	sc := m.RecordSymbolPMF(0, 7, 1, []float64{0.5, 0.5})
+	if !sc.Alert || math.Abs(sc.Exposure-0.5) > 1e-12 {
+		t.Fatalf("bare meter score %+v", sc)
+	}
+	if st := m.Snapshot(); st.Alerts != 1 {
+		t.Fatalf("bare meter snapshot %+v", st)
+	}
+}

@@ -160,6 +160,7 @@ func TestEventKindStrings(t *testing.T) {
 		EventShareSent, EventDatagramDropped, EventDatagramLost,
 		EventDatagramDelivered, EventSymbolDelivered, EventSymbolEvicted,
 		EventReportReceived, EventChannelWritable, EventChannelUnwritable,
+		EventPrivacyAlert,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

@@ -67,6 +67,11 @@ const (
 	// back to clamping share placement. Channel is -1, Value the number of
 	// usable channels the failed solve was attempted over.
 	EventResolveError
+	// EventPrivacyAlert: the leakage meter scored a symbol above the
+	// configured adversary-advantage budget. Channel is -1 (advantage spans
+	// channels), Seq the symbol sequence, Value the advantage bound in
+	// parts per million.
+	EventPrivacyAlert
 )
 
 // String names the event kind for logs and dumps.
@@ -102,6 +107,8 @@ func (k EventKind) String() string {
 		return "schedule-resolved"
 	case EventResolveError:
 		return "resolve-error"
+	case EventPrivacyAlert:
+		return "privacy-alert"
 	}
 	return "unknown"
 }

@@ -427,6 +427,7 @@ type HealthChooser struct {
 	// links, recovery) is a lookup instead of an LP solve.
 	set           core.Set
 	obj           schedule.Objective
+	corr          *core.Correlation
 	sampler       *schedule.Sampler
 	solvedFor     uint32
 	subToFull     []int
@@ -451,6 +452,20 @@ func Resolve(set core.Set, obj schedule.Objective) HealthOption {
 	}
 }
 
+// ResolveCorrelated is Resolve under a correlated-adversary model: every
+// re-solve projects the shared-risk groups onto the surviving channel
+// subset and optimizes the correlated objective, so failover placement
+// accounts for channels that share a conduit with the ones that just
+// failed. The model must validate against set; factors are quantized by
+// the chooser's schedule cache, so health-driven drift stays cache-warm.
+func ResolveCorrelated(set core.Set, corr core.Correlation, obj schedule.Objective) HealthOption {
+	return func(c *HealthChooser) {
+		c.set = set
+		c.obj = obj
+		c.corr = &corr
+	}
+}
+
 // NewHealthChooser builds a failover-aware chooser for targets
 // 1 <= kappa <= mu over the tracker's channels. The rng must not be nil.
 func NewHealthChooser(kappa, mu float64, tracker *HealthTracker, rng *rand.Rand, opts ...HealthOption) (*HealthChooser, error) {
@@ -469,6 +484,11 @@ func NewHealthChooser(kappa, mu float64, tracker *HealthTracker, rng *rand.Rand,
 	}
 	if c.set != nil && c.set.N() != tracker.Channels() {
 		return nil, fmt.Errorf("remicss: resolve set has %d channels, tracker %d", c.set.N(), tracker.Channels())
+	}
+	if c.corr != nil {
+		if err := c.corr.Validate(c.set.N()); err != nil {
+			return nil, err
+		}
 	}
 	if c.set != nil {
 		// Re-solve mode routes every solve through a schedule cache wired to
@@ -618,7 +638,15 @@ func (c *HealthChooser) resolveFor(usable uint32) {
 	s := float64(len(sub))
 	kappaEff := math.Min(c.kappa, s)
 	muEff := math.Max(kappaEff, math.Min(c.mu, s))
-	sched, _, err := c.cache.Optimize(sub, kappaEff, muEff, c.obj)
+	var (
+		sched core.Schedule
+		err   error
+	)
+	if c.corr != nil {
+		sched, _, err = c.cache.OptimizeCorrelated(sub, c.corr.Project(c.subToFull), kappaEff, muEff, c.obj)
+	} else {
+		sched, _, err = c.cache.Optimize(sub, kappaEff, muEff, c.obj)
+	}
 	if err != nil {
 		c.resolveErr = fmt.Errorf("remicss: re-solving schedule for %d survivors: %w", len(sub), err)
 		c.noteResolveError(len(sub))

@@ -193,6 +193,24 @@ func (m Model) Simulate(length int, rng *rand.Rand) (states, obs []int, err erro
 	return states, obs, nil
 }
 
+// SimulateSet generates one observation sequence per channel from a single
+// seed, threading one seeded rng through every channel's trajectory so a
+// multi-channel experiment replays exactly from its seed instead of
+// depending on ambient randomness. The sequences feed EstimateRisks.
+func (m Model) SimulateSet(channels, length int, seed int64) (obsPerChannel [][]int, err error) {
+	if channels <= 0 {
+		return nil, errors.New("risk: channels must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, channels)
+	for i := range out {
+		if _, out[i], err = m.Simulate(length, rng); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 func sample(dist []float64, rng *rand.Rand) int {
 	u := rng.Float64()
 	var cum float64

@@ -248,3 +248,46 @@ func BenchmarkFilter1000(b *testing.B) {
 		}
 	}
 }
+
+func TestSimulateSetSeededAndDistinct(t *testing.T) {
+	m := DefaultModel()
+	a, err := m.SimulateSet(3, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SimulateSet(3, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("%d channels, want 3", len(a))
+	}
+	for i := range a {
+		if len(a[i]) != 200 {
+			t.Fatalf("channel %d: %d observations, want 200", i, len(a[i]))
+		}
+		for tt := range a[i] {
+			if a[i][tt] != b[i][tt] {
+				t.Fatalf("channel %d differs between same-seed runs at t=%d", i, tt)
+			}
+		}
+	}
+	// One rng threads through all channels: their sequences must differ.
+	same := true
+	for tt := range a[0] {
+		if a[0][tt] != a[1][tt] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("channels 0 and 1 drew identical sequences")
+	}
+	// The sequences feed the estimator directly.
+	if _, err := EstimateRisks(m, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SimulateSet(0, 10, 1); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+}

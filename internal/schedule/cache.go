@@ -63,6 +63,9 @@ type CacheConfig struct {
 	LossStep  float64
 	DelayStep time.Duration
 	RateStep  float64
+	// RhoStep quantizes correlation factors for OptimizeCorrelated keys
+	// and solves, analogous to RiskStep for channel risk. Default 0.05.
+	RhoStep float64
 	// MaxEntries bounds the table size; beyond it the least-recently-used
 	// quarter of entries is evicted. Default 1024.
 	MaxEntries int
@@ -91,6 +94,9 @@ func (c CacheConfig) withDefaults() CacheConfig {
 	if c.RateStep <= 0 {
 		c.RateStep = 10
 	}
+	if c.RhoStep <= 0 {
+		c.RhoStep = 0.05
+	}
 	if c.MaxEntries <= 0 {
 		c.MaxEntries = 1024
 	}
@@ -106,6 +112,7 @@ type cacheEntry struct {
 	kappa    uint64 // float bits
 	mu       uint64
 	qchan    []int64 // 4 quantized values per channel
+	qcorr    []int64 // 3 quantized values per shared-risk group; nil when uncorrelated
 	sched    core.Schedule
 	members  []int         // wide-program support compaction; nil for mask programs
 	lastUsed atomic.Uint64 // generation clock at last touch
@@ -166,18 +173,29 @@ func NewCache(cfg CacheConfig) *Cache {
 // program for the channel state quantized to the cache's grid, returning
 // the schedule and the tier that produced it.
 func (c *Cache) Optimize(s core.Set, kappa, mu float64, obj Objective) (core.Schedule, SolveTier, error) {
-	return c.resolve(programSectionIVB, s, kappa, mu, obj)
+	return c.resolve(programSectionIVB, s, core.Correlation{}, kappa, mu, obj)
+}
+
+// OptimizeCorrelated is Optimize under a correlated-adversary model: the
+// program is built with correlated risk/loss coefficients and — when the
+// cache's Options set GroupExposureCap — per-group exposure rows. The
+// correlation factors are quantized to the RhoStep grid and join the cache
+// key, so health-driven rho drift within one grid cell stays a lock-free
+// hit while a genuine regime change re-solves (warm-started, like any other
+// miss). An empty model is exactly Optimize and shares its cache entries.
+func (c *Cache) OptimizeCorrelated(s core.Set, corr core.Correlation, kappa, mu float64, obj Objective) (core.Schedule, SolveTier, error) {
+	return c.resolve(programSectionIVB, s, corr, kappa, mu, obj)
 }
 
 // OptimizeAtMaxRate is the cached form of OptimizeAtMaxRate (the Section
 // IV-D program). It shares the table and retained solver with Optimize;
 // the program shape is part of the cache key.
 func (c *Cache) OptimizeAtMaxRate(s core.Set, kappa, mu float64, obj Objective) (core.Schedule, SolveTier, error) {
-	return c.resolve(programMaxRate, s, kappa, mu, obj)
+	return c.resolve(programMaxRate, s, core.Correlation{}, kappa, mu, obj)
 }
 
-func (c *Cache) resolve(kind programKind, s core.Set, kappa, mu float64, obj Objective) (core.Schedule, SolveTier, error) {
-	if e, ok := c.lookup(kind, s, kappa, mu, obj); ok {
+func (c *Cache) resolve(kind programKind, s core.Set, corr core.Correlation, kappa, mu float64, obj Objective) (core.Schedule, SolveTier, error) {
+	if e, ok := c.lookup(kind, s, corr, kappa, mu, obj); ok {
 		c.emit(TierCached)
 		return e.sched, TierCached, nil
 	}
@@ -185,7 +203,7 @@ func (c *Cache) resolve(kind programKind, s core.Set, kappa, mu float64, obj Obj
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Another goroutine may have resolved this state while we waited.
-	if e, ok := c.lookup(kind, s, kappa, mu, obj); ok {
+	if e, ok := c.lookup(kind, s, corr, kappa, mu, obj); ok {
 		c.emit(TierCached)
 		return e.sched, TierCached, nil
 	}
@@ -194,8 +212,14 @@ func (c *Cache) resolve(kind programKind, s core.Set, kappa, mu float64, obj Obj
 	}
 
 	// Solve on the quantized state, not the raw one: every state in this
-	// grid cell must map to the same schedule bytes.
+	// grid cell must map to the same schedule bytes. The correlation model
+	// is quantized the same way for the same reason.
 	qs := c.quantizeSet(s)
+	qc := c.quantizeCorr(corr)
+	opts := c.cfg.Options
+	if len(qc.Groups) > 0 {
+		opts.Correlation = &qc
+	}
 	var (
 		prob        lp.Problem
 		assignments []core.Assignment
@@ -203,9 +227,9 @@ func (c *Cache) resolve(kind programKind, s core.Set, kappa, mu float64, obj Obj
 	)
 	switch kind {
 	case programSectionIVB:
-		prob, assignments, err = buildSectionIVB(qs, kappa, mu, obj, c.cfg.Options)
+		prob, assignments, err = buildSectionIVB(qs, kappa, mu, obj, opts)
 	case programMaxRate:
-		prob, assignments, err = buildMaxRate(qs, kappa, mu, obj, c.cfg.Options)
+		prob, assignments, err = buildMaxRate(qs, kappa, mu, obj, opts)
 	}
 	if err != nil {
 		return nil, TierCold, err
@@ -219,7 +243,7 @@ func (c *Cache) resolve(kind programKind, s core.Set, kappa, mu float64, obj Obj
 		return nil, tier, err
 	}
 
-	c.insert(kind, qs, kappa, mu, obj, sched, nil)
+	c.insert(kind, qs, qc, kappa, mu, obj, sched, nil)
 	c.emit(tier)
 	return sched, tier, nil
 }
@@ -232,14 +256,14 @@ func (c *Cache) resolve(kind programKind, s core.Set, kappa, mu float64, obj Obj
 // only on the generated candidate structure, so a risk drift that leaves
 // the candidates unchanged re-solves from the prior vertex).
 func (c *Cache) OptimizeLarge(s core.Set, kappa, mu float64, obj Objective) (core.Schedule, []int, SolveTier, error) {
-	if e, ok := c.lookup(programLarge, s, kappa, mu, obj); ok {
+	if e, ok := c.lookup(programLarge, s, core.Correlation{}, kappa, mu, obj); ok {
 		c.emit(TierCached)
 		return e.sched, e.members, TierCached, nil
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.lookup(programLarge, s, kappa, mu, obj); ok {
+	if e, ok := c.lookup(programLarge, s, core.Correlation{}, kappa, mu, obj); ok {
 		c.emit(TierCached)
 		return e.sched, e.members, TierCached, nil
 	}
@@ -261,7 +285,7 @@ func (c *Cache) OptimizeLarge(s core.Set, kappa, mu float64, obj Objective) (cor
 		return nil, nil, tier, err
 	}
 
-	c.insert(programLarge, qs, kappa, mu, obj, sched, members)
+	c.insert(programLarge, qs, core.Correlation{}, kappa, mu, obj, sched, members)
 	c.emit(tier)
 	return sched, members, tier, nil
 }
@@ -293,14 +317,14 @@ func (c *Cache) warmSolve(prob lp.Problem) (lp.Solution, SolveTier, error) {
 // quantized state, walk the immutable table, compare field-wise.
 //
 //remicss:noalloc
-func (c *Cache) lookup(kind programKind, s core.Set, kappa, mu float64, obj Objective) (*cacheEntry, bool) {
+func (c *Cache) lookup(kind programKind, s core.Set, corr core.Correlation, kappa, mu float64, obj Objective) (*cacheEntry, bool) {
 	t := c.table.Load()
 	if t == nil {
 		return nil, false
 	}
-	h := c.hashState(kind, s, kappa, mu, obj)
+	h := c.hashState(kind, s, corr, kappa, mu, obj)
 	for e := t.entries[h]; e != nil; e = e.next {
-		if c.entryMatches(e, kind, s, kappa, mu, obj) {
+		if c.entryMatches(e, kind, s, corr, kappa, mu, obj) {
 			e.lastUsed.Store(c.gen.Add(1))
 			if c.hits != nil {
 				c.hits.Inc()
@@ -315,7 +339,7 @@ func (c *Cache) lookup(kind programKind, s core.Set, kappa, mu float64, obj Obje
 // a splitmix64-style mixer.
 //
 //remicss:noalloc
-func (c *Cache) hashState(kind programKind, s core.Set, kappa, mu float64, obj Objective) uint64 {
+func (c *Cache) hashState(kind programKind, s core.Set, corr core.Correlation, kappa, mu float64, obj Objective) uint64 {
 	h := mix64(uint64(kind), uint64(obj))
 	h = mix64(h, uint64(len(s)))
 	h = mix64(h, math.Float64bits(kappa))
@@ -326,6 +350,17 @@ func (c *Cache) hashState(kind programKind, s core.Set, kappa, mu float64, obj O
 		h = mix64(h, uint64(c.quantDelay(s[i].Delay)))
 		h = mix64(h, uint64(c.quantRate(s[i].Rate)))
 	}
+	// Only materially correlated groups reach the key, so an all-zero
+	// model hashes identically to no model and shares its entries.
+	for _, g := range corr.Groups {
+		qr, ql := c.quantRho(g.RiskRho), c.quantRho(g.LossRho)
+		if qr == 0 && ql == 0 {
+			continue
+		}
+		h = mix64(h, uint64(g.Mask))
+		h = mix64(h, uint64(qr))
+		h = mix64(h, uint64(ql))
+	}
 	return h
 }
 
@@ -333,7 +368,7 @@ func (c *Cache) hashState(kind programKind, s core.Set, kappa, mu float64, obj O
 // collisions must never alias two distinct states.
 //
 //remicss:noalloc
-func (c *Cache) entryMatches(e *cacheEntry, kind programKind, s core.Set, kappa, mu float64, obj Objective) bool {
+func (c *Cache) entryMatches(e *cacheEntry, kind programKind, s core.Set, corr core.Correlation, kappa, mu float64, obj Objective) bool {
 	if e.kind != kind || e.obj != obj ||
 		e.kappa != math.Float64bits(kappa) || e.mu != math.Float64bits(mu) ||
 		len(e.qchan) != 4*len(s) {
@@ -347,7 +382,23 @@ func (c *Cache) entryMatches(e *cacheEntry, kind programKind, s core.Set, kappa,
 			return false
 		}
 	}
-	return true
+	// Compare the materially correlated groups (zero-quantized ones are
+	// dropped from keys, so an all-zero model matches uncorrelated
+	// entries) in order against the entry's stored triples.
+	gi := 0
+	for _, g := range corr.Groups {
+		qr, ql := c.quantRho(g.RiskRho), c.quantRho(g.LossRho)
+		if qr == 0 && ql == 0 {
+			continue
+		}
+		if gi*3+3 > len(e.qcorr) ||
+			e.qcorr[gi*3] != int64(g.Mask) ||
+			e.qcorr[gi*3+1] != qr || e.qcorr[gi*3+2] != ql {
+			return false
+		}
+		gi++
+	}
+	return gi*3 == len(e.qcorr)
 }
 
 //remicss:noalloc
@@ -363,6 +414,9 @@ func (c *Cache) quantDelay(d time.Duration) int64 {
 
 //remicss:noalloc
 func (c *Cache) quantRate(r float64) int64 { return int64(math.Round(r / c.cfg.RateStep)) }
+
+//remicss:noalloc
+func (c *Cache) quantRho(r float64) int64 { return int64(math.Round(r / c.cfg.RhoStep)) }
 
 // mix64 is a splitmix64-style combining step.
 //
@@ -392,14 +446,37 @@ func (c *Cache) quantizeSet(s core.Set) core.Set {
 
 func clampProb(p float64) float64 { return math.Max(0, math.Min(1, p)) }
 
+// quantizeCorr snaps correlation factors to the rho grid, dropping groups
+// whose factors both quantize to zero — those are independence, and keying
+// them would split one schedule across two entries.
+func (c *Cache) quantizeCorr(corr core.Correlation) core.Correlation {
+	var out core.Correlation
+	for _, g := range corr.Groups {
+		qr, ql := c.quantRho(g.RiskRho), c.quantRho(g.LossRho)
+		if qr == 0 && ql == 0 {
+			continue
+		}
+		out.Groups = append(out.Groups, core.RiskGroup{
+			Mask:    g.Mask,
+			RiskRho: clampProb(float64(qr) * c.cfg.RhoStep),
+			LossRho: clampProb(float64(ql) * c.cfg.RhoStep),
+		})
+	}
+	return out
+}
+
 // insert publishes a new table containing the entry, evicting the
 // least-recently-used quarter when the table is full. Caller holds c.mu.
-func (c *Cache) insert(kind programKind, qs core.Set, kappa, mu float64, obj Objective, sched core.Schedule, members []int) {
+func (c *Cache) insert(kind programKind, qs core.Set, qc core.Correlation, kappa, mu float64, obj Objective, sched core.Schedule, members []int) {
 	qchan := make([]int64, 0, 4*len(qs))
 	for i := range qs {
 		qchan = append(qchan,
 			c.quantRisk(qs[i].Risk), c.quantLoss(qs[i].Loss),
 			c.quantDelay(qs[i].Delay), c.quantRate(qs[i].Rate))
+	}
+	var qcorr []int64
+	for _, g := range qc.Groups {
+		qcorr = append(qcorr, int64(g.Mask), c.quantRho(g.RiskRho), c.quantRho(g.LossRho))
 	}
 	e := &cacheEntry{
 		kind:    kind,
@@ -407,6 +484,7 @@ func (c *Cache) insert(kind programKind, qs core.Set, kappa, mu float64, obj Obj
 		kappa:   math.Float64bits(kappa),
 		mu:      math.Float64bits(mu),
 		qchan:   qchan,
+		qcorr:   qcorr,
 		sched:   sched,
 		members: members,
 	}
@@ -430,7 +508,7 @@ func (c *Cache) insert(kind programKind, qs core.Set, kappa, mu float64, obj Obj
 				kept := &cacheEntry{
 					next: next.entries[h], kind: cur.kind, obj: cur.obj,
 					kappa: cur.kappa, mu: cur.mu, qchan: cur.qchan,
-					sched: cur.sched, members: cur.members,
+					qcorr: cur.qcorr, sched: cur.sched, members: cur.members,
 				}
 				kept.lastUsed.Store(cur.lastUsed.Load())
 				next.entries[h] = kept
@@ -438,7 +516,7 @@ func (c *Cache) insert(kind programKind, qs core.Set, kappa, mu float64, obj Obj
 			}
 		}
 	}
-	h := c.hashState(kind, qs, kappa, mu, obj)
+	h := c.hashState(kind, qs, qc, kappa, mu, obj)
 	e.next = next.entries[h]
 	next.entries[h] = e
 	next.count++

@@ -205,7 +205,7 @@ func TestCacheHitAllocationFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(1000, func() {
-		if e, ok := c.lookup(programSectionIVB, s, 2, 3, ObjectiveRisk); !ok || e.sched == nil {
+		if e, ok := c.lookup(programSectionIVB, s, core.Correlation{}, 2, 3, ObjectiveRisk); !ok || e.sched == nil {
 			t.Fatal("lookup missed a cached state")
 		}
 	})

@@ -1,0 +1,214 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"remicss/internal/core"
+)
+
+func corrTestSet() core.Set {
+	return core.Set{
+		{Risk: 0.05, Loss: 0.01, Delay: 30 * time.Millisecond, Rate: 1000},
+		{Risk: 0.05, Loss: 0.01, Delay: 30 * time.Millisecond, Rate: 1000},
+		{Risk: 0.30, Loss: 0.02, Delay: 50 * time.Millisecond, Rate: 800},
+		{Risk: 0.30, Loss: 0.05, Delay: 80 * time.Millisecond, Rate: 500},
+	}
+}
+
+// An all-zero correlation model must produce the identical schedule: the
+// program's coefficients are bit-equal, so the simplex walks the same path.
+func TestOptimizeZeroCorrelationIdentical(t *testing.T) {
+	s := corrTestSet()
+	zero := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011}}}
+	for _, obj := range []Objective{ObjectiveRisk, ObjectiveLoss, ObjectiveDelay} {
+		plain, err := Optimize(s, 2, 3, obj, Options{})
+		if err != nil {
+			t.Fatalf("%v plain: %v", obj, err)
+		}
+		corr, err := Optimize(s, 2, 3, obj, Options{Correlation: &zero})
+		if err != nil {
+			t.Fatalf("%v correlated: %v", obj, err)
+		}
+		if len(plain) != len(corr) {
+			t.Fatalf("%v: support sizes differ: %d vs %d", obj, len(plain), len(corr))
+		}
+		for a, p := range plain {
+			if corr[a] != p {
+				t.Errorf("%v: p(%d,%b) = %v under zero model, %v independent", obj, a.K, a.Mask, corr[a], p)
+			}
+		}
+	}
+}
+
+// A correlated risk objective shifts mass compared to the independent one
+// when two cheap channels share a conduit: the model sees through the
+// apparent diversity.
+func TestOptimizeCorrelationChangesRisk(t *testing.T) {
+	s := corrTestSet()
+	corr := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011, RiskRho: 0.9}}}
+	plain, err := Optimize(s, 2, 2.5, ObjectiveRisk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Optimize(s, 2, 2.5, ObjectiveRisk, Options{Correlation: &corr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The correlated schedule must beat the independent-optimal schedule
+	// under the correlated measure (it optimizes that measure directly).
+	if gz, pz := got.CorrelatedRisk(s, corr), plain.CorrelatedRisk(s, corr); gz > pz+1e-9 {
+		t.Fatalf("correlated solve %v worse than independent schedule %v under correlated risk", gz, pz)
+	}
+}
+
+// The per-group exposure rows must bind: capping a group's attributable
+// exposure below the unconstrained optimum's level forces a feasible
+// schedule that respects the cap, at a no-better objective.
+func TestGroupExposureCapRespected(t *testing.T) {
+	s := corrTestSet()
+	corr := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011, RiskRho: 0.9}}}
+
+	free, err := Optimize(s, 2, 2.5, ObjectiveRisk, Options{Correlation: &corr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := free.GroupExposure(s, corr, 0)
+	if e0 <= 0 {
+		t.Fatalf("unconstrained optimum has zero group exposure (%v); test setup broken", e0)
+	}
+
+	cap := e0 / 2
+	capped, err := Optimize(s, 2, 2.5, ObjectiveRisk, Options{Correlation: &corr, GroupExposureCap: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := capped.GroupExposure(s, corr, 0); e > cap+1e-9 {
+		t.Fatalf("capped schedule group exposure %v above cap %v", e, cap)
+	}
+	if zc, zf := capped.CorrelatedRisk(s, corr), free.CorrelatedRisk(s, corr); zc < zf-1e-9 {
+		t.Fatalf("capped objective %v better than unconstrained %v", zc, zf)
+	}
+	// Parameter constraints still hold alongside the new rows.
+	if k := free.Kappa(); math.Abs(capped.Kappa()-2) > 1e-6 || math.Abs(k-2) > 1e-6 {
+		t.Fatalf("kappa drifted: capped %v free %v", capped.Kappa(), k)
+	}
+	if math.Abs(capped.Mu()-2.5) > 1e-6 {
+		t.Fatalf("mu drifted: %v", capped.Mu())
+	}
+}
+
+// The Section IV-E floor k >= ⌊κ⌋ (Theorem 5) must survive the correlated
+// program: every support assignment keeps the limited-threat guarantee.
+func TestCorrelatedLimitedKeepsThresholdFloor(t *testing.T) {
+	s := corrTestSet()
+	corr := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011, RiskRho: 0.9}}}
+	free, err := Optimize(s, 2.5, 3, ObjectiveRisk, Options{Limited: true, Correlation: &corr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Optimize(s, 2.5, 3, ObjectiveRisk,
+		Options{Limited: true, Correlation: &corr, GroupExposureCap: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []core.Schedule{free, capped} {
+		for a := range sched {
+			if a.K < 2 {
+				t.Fatalf("assignment k=%d below floor ⌊κ⌋=2", a.K)
+			}
+		}
+	}
+}
+
+// The max-rate program accepts the same correlation options.
+func TestMaxRateCorrelated(t *testing.T) {
+	s := corrTestSet()
+	corr := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011, RiskRho: 0.8}}}
+	sched, err := OptimizeAtMaxRate(s, 2, 2.5, ObjectiveRisk, Options{Correlation: &corr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(s.N()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An invalid model must be rejected before any solve.
+func TestCorrelationValidatedInBuild(t *testing.T) {
+	s := corrTestSet()
+	bad := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011}, {Mask: 0b0110}}}
+	if _, err := Optimize(s, 2, 3, ObjectiveRisk, Options{Correlation: &bad}); err == nil {
+		t.Fatal("overlapping groups accepted")
+	}
+	if _, err := OptimizeAtMaxRate(s, 2, 3, ObjectiveRisk, Options{Correlation: &bad}); err == nil {
+		t.Fatal("overlapping groups accepted by max-rate")
+	}
+}
+
+// Cache keying: an all-zero model shares entries with the uncorrelated
+// path; materially different rhos split; drift within one rho grid cell
+// stays a hit.
+func TestCacheCorrelatedKeying(t *testing.T) {
+	s := corrTestSet()
+	c := NewCache(CacheConfig{})
+
+	if _, tier, err := c.Optimize(s, 2, 3, ObjectiveRisk); err != nil || tier == TierCached {
+		t.Fatalf("first solve: tier %v err %v", tier, err)
+	}
+	zero := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011}}}
+	if _, tier, err := c.OptimizeCorrelated(s, zero, 2, 3, ObjectiveRisk); err != nil || tier != TierCached {
+		t.Fatalf("zero model should share the uncorrelated entry: tier %v err %v", tier, err)
+	}
+
+	corr := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011, RiskRho: 0.8}}}
+	sched1, tier, err := c.OptimizeCorrelated(s, corr, 2, 3, ObjectiveRisk)
+	if err != nil || tier == TierCached {
+		t.Fatalf("new rho should miss: tier %v err %v", tier, err)
+	}
+	// 0.81 quantizes to the same 0.05-step cell as 0.80.
+	drift := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011, RiskRho: 0.81}}}
+	sched2, tier, err := c.OptimizeCorrelated(s, drift, 2, 3, ObjectiveRisk)
+	if err != nil || tier != TierCached {
+		t.Fatalf("in-cell rho drift should hit: tier %v err %v", tier, err)
+	}
+	if len(sched1) != len(sched2) {
+		t.Fatalf("drift returned a different schedule")
+	}
+	// 0.6 is a different cell: miss again.
+	far := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011, RiskRho: 0.6}}}
+	if _, tier, err := c.OptimizeCorrelated(s, far, 2, 3, ObjectiveRisk); err != nil || tier == TierCached {
+		t.Fatalf("cross-cell rho should miss: tier %v err %v", tier, err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", c.Len())
+	}
+}
+
+// The cached correlated solve must equal the one-shot solve on the same
+// quantized state (warm-start reuse must not change results).
+func TestCacheCorrelatedMatchesOneShot(t *testing.T) {
+	s := corrTestSet()
+	corr := core.Correlation{Groups: []core.RiskGroup{{Mask: 0b0011, RiskRho: 0.8, LossRho: 0.4}}}
+	c := NewCache(CacheConfig{Options: Options{GroupExposureCap: 0.03}})
+	// Prime the solver with an unrelated program so the correlated solve
+	// exercises the warm path.
+	if _, _, err := c.Optimize(s, 2, 3, ObjectiveRisk); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.OptimizeCorrelated(s, corr, 2, 2.5, ObjectiveRisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Optimize(s, 2, 2.5, ObjectiveRisk, Options{Correlation: &corr, GroupExposureCap: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz, wz := got.CorrelatedRisk(s, corr), want.CorrelatedRisk(s, corr); math.Abs(gz-wz) > 1e-9 {
+		t.Fatalf("cached correlated risk %v != one-shot %v", gz, wz)
+	}
+	if e := got.GroupExposure(s, corr, 0); e > 0.03+1e-9 {
+		t.Fatalf("cached schedule violates group cap: %v", e)
+	}
+}

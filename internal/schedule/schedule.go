@@ -65,6 +65,23 @@ type Options struct {
 	// exhaustive enumeration. When nil, enumeration is exhaustive up to
 	// exactEnumerationLimit channels and generated beyond it.
 	Generate *core.GenConfig
+	// Correlation, when non-nil, builds the program under the
+	// correlated-adversary model: risk and loss objective coefficients use
+	// the common-cause mixture instead of the independent Poisson binomial,
+	// and — when GroupExposureCap is positive — one inequality row per
+	// shared-risk group bounds the schedule's group-attributable exposure
+	// Σ p(k,M)·e_g(k,M) ≤ cap, expressed in equality form with one
+	// zero-cost slack variable per group.
+	Correlation *core.Correlation
+	// GroupExposureCap is the per-group common-cause exposure bound; rows
+	// are added only when it is positive and Correlation has groups.
+	GroupExposureCap float64
+}
+
+// correlationRows reports whether the options call for group-exposure
+// constraint rows.
+func (o Options) correlationRows() bool {
+	return o.Correlation != nil && o.GroupExposureCap > 0 && len(o.Correlation.Groups) > 0
 }
 
 // exactEnumerationLimit is the largest channel count for which the choice
@@ -130,6 +147,9 @@ func buildSectionIVB(s core.Set, kappa, mu float64, obj Objective, opts Options)
 	if err := s.CheckParams(kappa, mu); err != nil {
 		return lp.Problem{}, nil, err
 	}
+	if err := validateCorrelation(s, opts); err != nil {
+		return lp.Problem{}, nil, err
+	}
 	assignments := enumerate(s, kappa, mu, opts)
 	if len(assignments) == 0 {
 		return lp.Problem{}, nil, fmt.Errorf("%w: empty choice set", ErrInfeasible)
@@ -137,7 +157,7 @@ func buildSectionIVB(s core.Set, kappa, mu float64, obj Objective, opts Options)
 
 	nv := len(assignments)
 	prob := lp.Problem{
-		C: objectiveCoefficients(s, assignments, obj),
+		C: objectiveCoefficients(s, assignments, obj, opts.Correlation),
 		A: make([][]float64, 0, 3),
 		B: make([]float64, 0, 3),
 	}
@@ -159,7 +179,50 @@ func buildSectionIVB(s core.Set, kappa, mu float64, obj Objective, opts Options)
 		ms[j] = float64(a.M())
 	}
 	prob.A, prob.B = append(prob.A, ms), append(prob.B, mu)
+	if opts.correlationRows() {
+		prob = addGroupExposureRows(prob, s, assignments, *opts.Correlation, opts.GroupExposureCap)
+	}
 	return prob, assignments, nil
+}
+
+// validateCorrelation checks Options.Correlation against the set.
+func validateCorrelation(s core.Set, opts Options) error {
+	if opts.Correlation == nil {
+		return nil
+	}
+	return opts.Correlation.Validate(s.N())
+}
+
+// addGroupExposureRows appends, per shared-risk group, the inequality
+// Σ_j e_g(k_j, M_j)·p_j ≤ cap in equality form: every existing row and the
+// objective are widened with one zero-cost slack column per group, and each
+// new row sets its slack coefficient to 1. The group-attributable exposure
+// e_g is linear in p (core.GroupExposure), which is what admits an LP row at
+// all; the full correlated risk is not linear per group because shock
+// patterns interact.
+func addGroupExposureRows(prob lp.Problem, s core.Set, assignments []core.Assignment, corr core.Correlation, cap float64) lp.Problem {
+	g := len(corr.Groups)
+	nv := len(prob.C)
+	wideC := make([]float64, nv+g)
+	copy(wideC, prob.C)
+	wideA := make([][]float64, 0, len(prob.A)+g)
+	for _, row := range prob.A {
+		wide := make([]float64, nv+g)
+		copy(wide, row)
+		wideA = append(wideA, wide)
+	}
+	wideB := make([]float64, len(prob.B), len(prob.B)+g)
+	copy(wideB, prob.B)
+	for gi := range corr.Groups {
+		row := make([]float64, nv+g)
+		for j, a := range assignments {
+			row[j] = s.GroupExposure(corr, gi, a.K, a.Mask)
+		}
+		row[nv+gi] = 1
+		wideA = append(wideA, row)
+		wideB = append(wideB, cap)
+	}
+	return lp.Problem{C: wideC, A: wideA, B: wideB}
 }
 
 // wrapLPError maps solver errors onto the package's error vocabulary.
@@ -193,6 +256,9 @@ func buildMaxRate(s core.Set, kappa, mu float64, obj Objective, opts Options) (l
 	if err := s.CheckParams(kappa, mu); err != nil {
 		return lp.Problem{}, nil, err
 	}
+	if err := validateCorrelation(s, opts); err != nil {
+		return lp.Problem{}, nil, err
+	}
 	targets, err := s.UtilizationTargets(mu)
 	if err != nil {
 		return lp.Problem{}, nil, err
@@ -205,7 +271,7 @@ func buildMaxRate(s core.Set, kappa, mu float64, obj Objective, opts Options) (l
 	nv := len(assignments)
 	n := s.N()
 	prob := lp.Problem{
-		C: objectiveCoefficients(s, assignments, obj),
+		C: objectiveCoefficients(s, assignments, obj, opts.Correlation),
 		A: make([][]float64, 0, 2+n),
 		B: make([]float64, 0, 2+n),
 	}
@@ -228,6 +294,9 @@ func buildMaxRate(s core.Set, kappa, mu float64, obj Objective, opts Options) (l
 		}
 		prob.A, prob.B = append(prob.A, row), append(prob.B, targets[i])
 	}
+	if opts.correlationRows() {
+		prob = addGroupExposureRows(prob, s, assignments, *opts.Correlation, opts.GroupExposureCap)
+	}
 	return prob, assignments, nil
 }
 
@@ -249,14 +318,28 @@ func enumerate(s core.Set, kappa, mu float64, opts Options) []core.Assignment {
 	return core.EnumerateAssignments(n)
 }
 
-func objectiveCoefficients(s core.Set, assignments []core.Assignment, obj Objective) []float64 {
+// objectiveCoefficients computes the per-assignment objective costs. A
+// non-nil correlation model swaps the independent risk and loss formulas
+// for their common-cause mixtures (delay is unaffected: the model couples
+// observation and outage, not latency). With an all-zero model the
+// correlated formulas return the independent values bit-exactly, so the
+// program — and hence the schedule — is unchanged.
+func objectiveCoefficients(s core.Set, assignments []core.Assignment, obj Objective, corr *core.Correlation) []float64 {
 	c := make([]float64, len(assignments))
 	for j, a := range assignments {
 		switch obj {
 		case ObjectiveRisk:
-			c[j] = s.SubsetRisk(a.K, a.Mask)
+			if corr != nil {
+				c[j] = s.CorrelatedSubsetRisk(*corr, a.K, a.Mask)
+			} else {
+				c[j] = s.SubsetRisk(a.K, a.Mask)
+			}
 		case ObjectiveLoss:
-			c[j] = s.SubsetLoss(a.K, a.Mask)
+			if corr != nil {
+				c[j] = s.CorrelatedSubsetLoss(*corr, a.K, a.Mask)
+			} else {
+				c[j] = s.SubsetLoss(a.K, a.Mask)
+			}
 		case ObjectiveDelay:
 			c[j] = s.SubsetDelay(a.K, a.Mask)
 		default:
@@ -280,6 +363,9 @@ func solutionToSchedule(sol lp.Solution, assignments []core.Assignment, n int) (
 	sched := make(core.Schedule)
 	var total float64
 	for j, p := range sol.X {
+		if j >= len(assignments) {
+			break // group-exposure slack columns carry no schedule mass
+		}
 		if p > probabilityFloor {
 			sched[assignments[j]] += p
 			total += p

@@ -74,6 +74,10 @@ func buildRepresentativeRegistry(t *testing.T) *remicss.MetricsRegistry {
 	}
 	link.Instrument(reg, nil, 0)
 
+	// The leakage meter registers the remicss_privacy_* series eagerly at
+	// construction, before any symbol is scored.
+	remicss.NewLeakageMeter(remicss.LeakageConfig{}, 1, reg, nil)
+
 	// The session gateway registers the remicss_gateway_* series: the
 	// dispatch-path drop counters at construction, the per-tenant pair (and
 	// the cap counter) on first registration under a tenant.

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"remicss/internal/core"
+	"remicss/internal/leakage"
 	"remicss/internal/lp"
 	"remicss/internal/remicss"
 	"remicss/internal/risk"
@@ -269,6 +270,77 @@ func NewHealthChooser(kappa, mu float64, tracker *HealthTracker, rng *rand.Rand,
 // while the chooser falls back to clamping.
 func ResolveSchedule(set ChannelSet, obj Objective) HealthOption {
 	return remicss.Resolve(set, obj)
+}
+
+// RiskGroup is one shared-risk group of the correlated-adversary model: a
+// set of channels (bitmask) that share infrastructure, with common-cause
+// correlation factors for eavesdropping (RiskRho) and loss (LossRho). At
+// rho = 0 the group is inert; at rho = 1 one compromise observes every
+// member.
+type RiskGroup = core.RiskGroup
+
+// Correlation is a correlated-adversary model: disjoint shared-risk groups
+// layered over the per-channel marginals. The zero value is the paper's
+// independence assumption; ChannelSet's Correlated* methods and the
+// schedule optimizers accept it to price shared conduits into risk and
+// loss. Marginals are preserved exactly — only joint behavior changes.
+type Correlation = core.Correlation
+
+// ErrInvalidCorrelation marks a correlation model that fails validation
+// (overlapping groups, out-of-range members, or rho outside [0, 1]).
+var ErrInvalidCorrelation = core.ErrInvalidCorrelation
+
+// ResolveScheduleCorrelated is ResolveSchedule under a correlated-adversary
+// model: every re-solve prices the shared-risk groups into the LP objective
+// and adds per-group exposure rows, with the model projected onto the
+// surviving channels on each failover. Cache keys carry the quantized
+// correlation state, so correlated and independent schedules never collide.
+func ResolveScheduleCorrelated(set ChannelSet, corr Correlation, obj Objective) HealthOption {
+	return remicss.ResolveCorrelated(set, corr, obj)
+}
+
+// LeakageConfig parameterizes the statistical-leakage model: the share
+// field width, the per-observed-share partial leakage λ in bits, and the
+// adversary-advantage budget that arms privacy alerts.
+type LeakageConfig = leakage.Config
+
+// LeakageScore is one symbol's leakage verdict: its exposure, its
+// advantage bound ε, and whether the bound broke the budget.
+type LeakageScore = leakage.Score
+
+// LeakageStats aggregates a LeakageMeter's observations: symbol and alert
+// counts, exposure and advantage extrema, and per-channel observed-share
+// counts.
+type LeakageStats = leakage.Stats
+
+// LeakageMeter scores share-exposure events against the leakage-aware
+// advantage bound, exporting the remicss_privacy_* metric series and
+// privacy-alert trace events. Feed it per-symbol observation distributions
+// (RecordSymbol / RecordSymbolPMF) and per-channel observed-share counts
+// (RecordObserved).
+type LeakageMeter = leakage.Meter
+
+// NewLeakageMeter builds a leakage meter for n channels. metrics (may be
+// nil) receives the remicss_privacy_* series; trace (may be nil) receives
+// privacy-alert events. Panics if cfg fails validation, mirroring the
+// metrics-registry constructors.
+func NewLeakageMeter(cfg LeakageConfig, channels int, metrics *MetricsRegistry, trace *EventTrace) *LeakageMeter {
+	return leakage.NewMeter(cfg, channels, metrics, trace)
+}
+
+// LeakageAdvantageBound bounds the adversary's advantage ε for one symbol
+// shared k-of-len(probs), where probs are independent per-share observation
+// probabilities. With λ = 0 it reduces to the plain exposure P(X ≥ k).
+func LeakageAdvantageBound(probs []float64, k int, cfg LeakageConfig) float64 {
+	return leakage.AdvantageBound(probs, k, cfg)
+}
+
+// CorrelatedLeakageAdvantageBound is LeakageAdvantageBound under a
+// correlated-adversary model: the observation distribution over the
+// channels in mask is the correlated mixture rather than the independent
+// product.
+func CorrelatedLeakageAdvantageBound(set ChannelSet, corr Correlation, k int, mask uint32, cfg LeakageConfig) float64 {
+	return leakage.CorrelatedAdvantageBound(set, corr, k, mask, cfg)
 }
 
 // SharingScheme splits symbols into threshold shares and reconstructs them.
